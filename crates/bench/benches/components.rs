@@ -1,0 +1,105 @@
+//! Component-level micro-benchmarks: the per-branch cost of each
+//! structure the composed predictors are built from, plus the
+//! checkpoint/restore operations whose cheapness is the paper's
+//! hardware argument.
+
+use bp_components::{SumComponent, SumCtx};
+use bp_history::HistoryState;
+use bp_tage::{Tage, TageConfig};
+use bp_trace::BranchRecord;
+use criterion::{criterion_group, criterion_main, Criterion};
+use imli::{ImliConfig, ImliSic, ImliState};
+use std::hint::black_box;
+
+fn imli_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("imli");
+    let backward = BranchRecord::conditional(0x4010, 0x4000, true);
+
+    group.bench_function("counter_observe", |b| {
+        let mut state = ImliState::new(&ImliConfig::sic_only());
+        b.iter(|| {
+            state.observe(black_box(&backward));
+            black_box(state.counter().value())
+        });
+    });
+
+    group.bench_function("sic_read_train", |b| {
+        let mut sic = ImliSic::new(512, 6);
+        let ctx = SumCtx {
+            pc: 0x4008,
+            imli_count: 17,
+            ..SumCtx::default()
+        };
+        b.iter(|| {
+            let v = sic.read(black_box(&ctx));
+            sic.train(&ctx, v < 0);
+            black_box(v)
+        });
+    });
+
+    group.bench_function("full_observe_with_oh", |b| {
+        let mut state = ImliState::new(&ImliConfig::default());
+        b.iter(|| {
+            state.observe(black_box(&backward));
+            black_box(state.outer_history().pipe())
+        });
+    });
+
+    group.bench_function("checkpoint_restore", |b| {
+        let mut state = ImliState::new(&ImliConfig::default());
+        state.observe(&backward);
+        b.iter(|| {
+            let cp = state.checkpoint();
+            state.restore(black_box(&cp));
+        });
+    });
+    group.finish();
+}
+
+fn tage_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tage");
+    group.bench_function("lookup_update", |b| {
+        let mut tage = Tage::new(TageConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = 0x4000 + (i % 64) * 8;
+            let taken = !i.is_multiple_of(3);
+            let lookup = tage.lookup(black_box(pc));
+            tage.update(pc, taken);
+            tage.push_history(pc, taken);
+            i += 1;
+            black_box(lookup.pred)
+        });
+    });
+    group.finish();
+}
+
+fn history_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history");
+    group.bench_function("push_with_12_folds", |b| {
+        let mut hs = HistoryState::new(2048, 16);
+        for i in 0..12 {
+            hs.add_fold(4 + i * 50, 11);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            hs.push(i.is_multiple_of(2), 0x40 + i * 4);
+            i += 1;
+            black_box(hs.path())
+        });
+    });
+    group.bench_function("checkpoint_restore", |b| {
+        let mut hs = HistoryState::new(2048, 16);
+        for i in 0..12 {
+            hs.add_fold(4 + i * 50, 11);
+        }
+        b.iter(|| {
+            let cp = hs.checkpoint();
+            hs.restore(black_box(&cp));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, imli_components, tage_lookup, history_ops);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Predictor throughput: predictions+updates per second for every major
+//! configuration, over a representative synthetic trace.
+//!
+//! These benches quantify the *simulation* cost of each design — e.g.
+//! the paper's complexity argument shows up as TAGE-GSC+IMLI costing
+//! barely more than TAGE-GSC, while the +L local-history configurations
+//! and +WH pay for their extra structures.
+
+use bp_sim::{make_predictor, simulate};
+use bp_workloads::quick_benchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn predictor_throughput(c: &mut Criterion) {
+    let trace = quick_benchmark("throughput", 0xBEEF, 60_000);
+    let branches = trace.conditional_count();
+    let mut group = c.benchmark_group("predict_update");
+    group.throughput(Throughput::Elements(branches));
+    group.sample_size(10);
+    for config in [
+        "bimodal",
+        "gshare",
+        "tage-gsc",
+        "tage-gsc+imli",
+        "tage-gsc+wh",
+        "tage-sc-l",
+        "tage-sc-l+imli",
+        "gehl",
+        "gehl+imli",
+        "ftl+imli",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(config), config, |b, config| {
+            b.iter_batched(
+                || make_predictor(config).expect("registered"),
+                |mut p| simulate(p.as_mut(), &trace),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, predictor_throughput);
+criterion_main!(benches);

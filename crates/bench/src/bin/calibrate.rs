@@ -1,0 +1,46 @@
+//! Developer calibration: per-benchmark MPKI for the key configurations
+//! on the planted benchmarks, to verify the reproduction *shape* (who
+//! benefits from which component). Not tied to a single paper artifact;
+//! used while tuning workload parameters.
+
+use bp_bench::{instruction_budget, run_config};
+use bp_sim::TextTable;
+use bp_workloads::{cbp3_suite, cbp4_suite};
+
+fn main() {
+    let configs = [
+        "tage-gsc",
+        "tage-gsc+sic",
+        "tage-gsc+oh",
+        "tage-gsc+imli",
+        "tage-gsc+wh",
+    ];
+    let focus4 = ["SPEC2K6-04", "SPEC2K6-12", "MM-4", "SPEC2K6-01"];
+    let focus3 = ["CLIENT02", "MM07", "WS04", "WS03", "INT01"];
+    println!("budget: {} instructions/benchmark\n", instruction_budget());
+
+    for (label, suite, focus) in [
+        ("CBP4", cbp4_suite(), &focus4[..]),
+        ("CBP3", cbp3_suite(), &focus3[..]),
+    ] {
+        let results: Vec<_> = configs.iter().map(|c| run_config(c, &suite)).collect();
+        let mut table = TextTable::new(
+            std::iter::once("benchmark".to_owned())
+                .chain(configs.iter().map(|c| (*c).to_owned()))
+                .collect::<Vec<_>>(),
+        );
+        for bench in focus {
+            let mut cells = vec![(*bench).to_owned()];
+            for r in &results {
+                cells.push(format!("{:.3}", r.mpki_of(bench).unwrap_or(f64::NAN)));
+            }
+            table.row(cells);
+        }
+        let mut mean_cells = vec!["MEAN(40)".to_owned()];
+        for r in &results {
+            mean_cells.push(format!("{:.3}", r.mean_mpki()));
+        }
+        table.row(mean_cells);
+        println!("{label}:\n{table}");
+    }
+}

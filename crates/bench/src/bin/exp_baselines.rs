@@ -1,0 +1,33 @@
+//! E-BASE (§3.2): base predictor accuracies and storage budgets.
+//!
+//! Paper reference points: TAGE-GSC 2.473 MPKI (CBP4) / 3.902 (CBP3) at
+//! 228 Kbits; GEHL 2.864 / 4.243 at 204 Kbits. Absolute numbers differ on
+//! synthetic traces; the shape to check is TAGE-GSC < GEHL on both
+//! suites, with both well below the gshare/bimodal calibration
+//! baselines.
+
+use bp_bench::{both_suites, run_config};
+use bp_sim::{make_predictor, TextTable};
+
+fn main() {
+    let suites = both_suites();
+    let configs = ["tage-gsc", "gehl", "gshare", "bimodal"];
+    let mut table = TextTable::new(vec![
+        "predictor",
+        "storage (Kbit)",
+        "CBP4 MPKI",
+        "CBP3 MPKI",
+    ]);
+    println!("E-BASE (§3.2): base predictors");
+    println!("paper: TAGE-GSC 2.473/3.902 @228Kbit; GEHL 2.864/4.243 @204Kbit\n");
+    for config in configs {
+        let storage = make_predictor(config).expect("registered").storage_bits();
+        let mut cells = vec![config.to_owned(), format!("{:.1}", storage as f64 / 1024.0)];
+        for (_, specs) in &suites {
+            let result = run_config(config, specs);
+            cells.push(format!("{:.3}", result.mean_mpki()));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,61 @@
+//! E-BUDGET (§4.4): storage budgets and speculative-state costs.
+//!
+//! Paper reference points: the two IMLI components cost 708 bytes total
+//! (384 B SIC table + 128 B outer-history table + 192 B OH prediction
+//! table + 4 B PIPE/counter) and their speculative checkpoint is 26 bits
+//! (10-bit counter + 16-bit PIPE). Table 1/2 sizes: TAGE-GSC 228→234
+//! Kbit with IMLI; GEHL 204→209 Kbit.
+
+use bp_sim::{make_predictor, TextTable};
+use bp_tage::TageSc;
+use imli::{ImliConfig, ImliState};
+
+fn main() {
+    println!("E-BUDGET (§4.4): storage accounting\n");
+
+    let imli = ImliState::new(&ImliConfig::default());
+    let mut breakdown = TextTable::new(vec!["IMLI component", "bits", "bytes"]);
+    for (label, bits) in imli.budget_breakdown() {
+        breakdown.row(vec![
+            label,
+            bits.to_string(),
+            format!("{:.0}", bits as f64 / 8.0),
+        ]);
+    }
+    breakdown.row(vec![
+        "TOTAL (paper: 708 B incl. packaging)".to_owned(),
+        imli.storage_bits().to_string(),
+        format!("{:.0}", imli.storage_bits() as f64 / 8.0),
+    ]);
+    println!("{breakdown}");
+    println!(
+        "speculative checkpoint: {} bits (paper: 10 + 16 = 26)\n",
+        imli.checkpoint_bits()
+    );
+
+    let mut sizes = TextTable::new(vec!["predictor", "Kbit", "paper Kbit"]);
+    for (config, paper) in [
+        ("tage-gsc", "228"),
+        ("tage-gsc+imli", "234"),
+        ("tage-sc-l", "256"),
+        ("tage-sc-l+imli", "261"),
+        ("gehl", "204"),
+        ("gehl+imli", "209"),
+        ("ftl", "256"),
+        ("ftl+imli", "261"),
+    ] {
+        let bits = make_predictor(config).expect("registered").storage_bits();
+        sizes.row(vec![
+            config.to_owned(),
+            format!("{:.1}", bits as f64 / 1024.0),
+            paper.to_owned(),
+        ]);
+    }
+    println!("{sizes}");
+
+    let mut parts = TextTable::new(vec!["TAGE-GSC+IMLI part", "Kbit"]);
+    for (label, bits) in TageSc::tage_gsc_imli().budget_breakdown() {
+        parts.row(vec![label, format!("{:.1}", bits as f64 / 1024.0)]);
+    }
+    println!("{parts}");
+}

@@ -1,0 +1,53 @@
+//! Figures 10 and 11: IMLI-induced MPKI reduction on GEHL.
+//!
+//! Same layout as Figures 8-9 but for the neural host. Paper reference:
+//! SIC takes CBP4 from 2.864 to 2.752 and CBP3 from 4.243 to 4.053;
+//! SIC+OH reach 2.694 and 3.958; the same benchmarks benefit as with
+//! TAGE-GSC.
+
+use bp_bench::{both_suites, run_config};
+use bp_sim::{SuiteComparison, TextTable};
+
+fn main() {
+    println!("Figures 10-11: IMLI on GEHL\n");
+    let mut all_rows: Vec<(String, f64, f64)> = Vec::new();
+    for (suite_name, specs) in both_suites() {
+        let base = run_config("gehl", &specs);
+        let sic = run_config("gehl+sic", &specs);
+        let imli = run_config("gehl+imli", &specs);
+        println!(
+            "{suite_name}: base {:.3} | +SIC {:.3} | +SIC+OH {:.3} MPKI",
+            base.mean_mpki(),
+            sic.mean_mpki(),
+            imli.mean_mpki()
+        );
+        let sic_cmp = SuiteComparison::new(base.clone(), sic);
+        let imli_cmp = SuiteComparison::new(base, imli);
+        for ((bench, d_sic), (_, d_imli)) in
+            sic_cmp.reductions().into_iter().zip(imli_cmp.reductions())
+        {
+            all_rows.push((format!("{suite_name}/{bench}"), d_sic, d_imli));
+        }
+    }
+
+    let mut fig10 = TextTable::new(vec!["benchmark", "ΔMPKI SIC", "ΔMPKI SIC+OH"]);
+    for (bench, d_sic, d_imli) in &all_rows {
+        fig10.row(vec![
+            bench.clone(),
+            format!("{d_sic:.3}"),
+            format!("{d_imli:.3}"),
+        ]);
+    }
+    println!("\nFigure 10 (all 80 benchmarks):\n{fig10}");
+
+    all_rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+    let mut fig11 = TextTable::new(vec!["benchmark", "ΔMPKI SIC", "ΔMPKI SIC+OH"]);
+    for (bench, d_sic, d_imli) in all_rows.iter().take(15) {
+        fig11.row(vec![
+            bench.clone(),
+            format!("{d_sic:.3}"),
+            format!("{d_imli:.3}"),
+        ]);
+    }
+    println!("Figure 11 (top 15):\n{fig11}");
+}

@@ -1,0 +1,61 @@
+//! Figures 14 and 15 (§5): per-benchmark benefit of local history, with
+//! and without IMLI, on the 25 most affected benchmarks.
+//!
+//! Shape to reproduce: local-history benefits are spread more evenly
+//! across benchmarks than the concentrated IMLI benefits, and where IMLI
+//! is effective the local components' additional benefit shrinks.
+
+use bp_bench::{both_suites, run_config};
+use bp_sim::{SuiteResult, TextTable};
+
+fn figure(host: &str, base: &str, plus_l: &str, plus_i: &str, plus_il: &str) {
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for (suite_name, specs) in both_suites() {
+        let results: [SuiteResult; 4] = [
+            run_config(base, &specs),
+            run_config(plus_l, &specs),
+            run_config(plus_i, &specs),
+            run_config(plus_il, &specs),
+        ];
+        for row in &results[0].rows {
+            let bench = &row.benchmark;
+            let get = |r: &SuiteResult| r.mpki_of(bench).expect("same suite");
+            rows.push((
+                format!("{suite_name}/{bench}"),
+                get(&results[0]),
+                get(&results[1]),
+                get(&results[2]),
+                get(&results[3]),
+            ));
+        }
+    }
+    // The 25 benchmarks most affected by any component (largest spread
+    // between best and base).
+    rows.sort_by(|a, b| {
+        let spread = |r: &(String, f64, f64, f64, f64)| r.1 - r.2.min(r.3).min(r.4);
+        spread(b).partial_cmp(&spread(a)).expect("finite")
+    });
+    let mut table = TextTable::new(vec!["benchmark", "Base", "+L", "+I", "+I+L"]);
+    for (bench, b, l, i, il) in rows.iter().take(25) {
+        table.row(vec![
+            bench.clone(),
+            format!("{b:.3}"),
+            format!("{l:.3}"),
+            format!("{i:.3}"),
+            format!("{il:.3}"),
+        ]);
+    }
+    println!("{host}: 25 most affected benchmarks\n{table}");
+}
+
+fn main() {
+    println!("Figures 14-15 (§5): local history vs IMLI, per benchmark\n");
+    figure(
+        "TAGE (Figure 14)",
+        "tage-gsc",
+        "tage-sc-l",
+        "tage-gsc+imli",
+        "tage-sc-l+imli",
+    );
+    figure("GEHL (Figure 15)", "gehl", "ftl", "gehl+imli", "ftl+imli");
+}

@@ -1,0 +1,56 @@
+//! Figures 8 and 9: IMLI-induced MPKI reduction on TAGE-GSC.
+//!
+//! Figure 8 plots the reduction for all 80 benchmarks (two stacked bars:
+//! IMLI-SIC alone, and IMLI-SIC+IMLI-OH); Figure 9 zooms into the 15
+//! most-benefitting benchmarks. Paper reference: SIC takes CBP4 from
+//! 2.473 to 2.373 and CBP3 from 3.902 to 3.733; SIC+OH reach 2.313 and
+//! 3.649.
+
+use bp_bench::{both_suites, run_config};
+use bp_sim::{SuiteComparison, TextTable};
+
+fn main() {
+    println!("Figures 8-9: IMLI on TAGE-GSC\n");
+    let mut all_rows: Vec<(String, f64, f64)> = Vec::new();
+    for (suite_name, specs) in both_suites() {
+        let base = run_config("tage-gsc", &specs);
+        let sic = run_config("tage-gsc+sic", &specs);
+        let imli = run_config("tage-gsc+imli", &specs);
+        println!(
+            "{suite_name}: base {:.3} | +SIC {:.3} | +SIC+OH {:.3} MPKI",
+            base.mean_mpki(),
+            sic.mean_mpki(),
+            imli.mean_mpki()
+        );
+        let sic_cmp = SuiteComparison::new(base.clone(), sic);
+        let imli_cmp = SuiteComparison::new(base, imli);
+        for ((bench, d_sic), (_, d_imli)) in
+            sic_cmp.reductions().into_iter().zip(imli_cmp.reductions())
+        {
+            all_rows.push((format!("{suite_name}/{bench}"), d_sic, d_imli));
+        }
+    }
+
+    // Figure 8: every benchmark, suite order.
+    let mut fig8 = TextTable::new(vec!["benchmark", "ΔMPKI SIC", "ΔMPKI SIC+OH"]);
+    for (bench, d_sic, d_imli) in &all_rows {
+        fig8.row(vec![
+            bench.clone(),
+            format!("{d_sic:.3}"),
+            format!("{d_imli:.3}"),
+        ]);
+    }
+    println!("\nFigure 8 (all 80 benchmarks):\n{fig8}");
+
+    // Figure 9: the 15 most improved by the full IMLI.
+    all_rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+    let mut fig9 = TextTable::new(vec!["benchmark", "ΔMPKI SIC", "ΔMPKI SIC+OH"]);
+    for (bench, d_sic, d_imli) in all_rows.iter().take(15) {
+        fig9.row(vec![
+            bench.clone(),
+            format!("{d_sic:.3}"),
+            format!("{d_imli:.3}"),
+        ]);
+    }
+    println!("Figure 9 (top 15):\n{fig9}");
+}

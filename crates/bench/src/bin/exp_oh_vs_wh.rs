@@ -1,0 +1,54 @@
+//! E-OHWH / Figure 13 (§4.3): IMLI-OH versus the wormhole predictor.
+//!
+//! The paper adds WH on top of the SIC-augmented hosts (TAGE-GSC+SIC+WH
+//! reaches 2.323/3.675; GEHL+SIC+WH 2.700/3.984) and then shows IMLI-OH
+//! captures the same correlations: Figure 13 compares GEHL+OH against
+//! GEHL+WH on the most affected benchmarks (SPEC2K6-12, MM-4, CLIENT02,
+//! MM07).
+
+use bp_bench::{both_suites, run_config};
+use bp_sim::TextTable;
+
+const FOCUS: [&str; 8] = [
+    "SPEC2K6-12",
+    "MM-4",
+    "CLIENT02",
+    "MM07",
+    "SPEC2K6-04",
+    "WS04",
+    "WS03",
+    "INT01",
+];
+
+fn main() {
+    println!("E-OHWH / Figure 13: IMLI-OH vs WH (GEHL host)\n");
+    for (suite_name, specs) in both_suites() {
+        let base = run_config("gehl", &specs);
+        let oh = run_config("gehl+oh", &specs);
+        let wh = run_config("gehl+wh", &specs);
+        let sic_wh = run_config("gehl+sic+wh", &specs);
+        let imli = run_config("gehl+imli", &specs);
+        println!(
+            "{suite_name} means: base {:.3} | +OH {:.3} | +WH {:.3} | +SIC+WH {:.3} | +IMLI {:.3}",
+            base.mean_mpki(),
+            oh.mean_mpki(),
+            wh.mean_mpki(),
+            sic_wh.mean_mpki(),
+            imli.mean_mpki()
+        );
+        let mut table = TextTable::new(vec!["benchmark", "base", "GEHL+OH", "GEHL+WH"]);
+        for bench in FOCUS {
+            if let Some(b) = base.mpki_of(bench) {
+                table.row(vec![
+                    bench.to_owned(),
+                    format!("{b:.3}"),
+                    format!("{:.3}", oh.mpki_of(bench).expect("same suite")),
+                    format!("{:.3}", wh.mpki_of(bench).expect("same suite")),
+                ]);
+            }
+        }
+        println!("{table}");
+    }
+    println!("shape check: OH matches or beats WH on the diagonal benchmarks,");
+    println!("and also helps the SIC-style benchmarks WH cannot track (SPEC2K6-04, WS04)");
+}

@@ -1,0 +1,35 @@
+//! E-WH (§3.3): the wormhole predictor on top of TAGE-GSC and GEHL.
+//!
+//! Paper reference points: TAGE-GSC+WH 2.415 CBP4 (-2.4 %) / 3.823 CBP3
+//! (-2.2 %); GEHL+WH 2.802 / 4.141. The benefit comes from only four of
+//! the eighty benchmarks: SPEC2K6-12 and MM-4 (CBP4), CLIENT02 and MM07
+//! (CBP3), with > 1.5 MPKI on the hard three.
+
+use bp_bench::{both_suites, run_config};
+use bp_sim::{SuiteComparison, TextTable};
+
+fn main() {
+    println!("E-WH (§3.3): WH as a side predictor");
+    println!("paper: gains on exactly SPEC2K6-12, MM-4, CLIENT02, MM07\n");
+    for (base, with_wh) in [("tage-gsc", "tage-gsc+wh"), ("gehl", "gehl+wh")] {
+        for (suite_name, specs) in both_suites() {
+            let baseline = run_config(base, &specs);
+            let variant = run_config(with_wh, &specs);
+            let cmp = SuiteComparison::new(baseline, variant);
+            println!(
+                "{} vs {} on {}: {:.3} -> {:.3} MPKI ({:+.1} %)",
+                base,
+                with_wh,
+                suite_name,
+                cmp.baseline.mean_mpki(),
+                cmp.variant.mean_mpki(),
+                -cmp.mean_reduction_percent()
+            );
+            let mut table = TextTable::new(vec!["benchmark", "ΔMPKI (base - WH)"]);
+            for (bench, delta) in cmp.top_benefitting(5) {
+                table.row(vec![bench, format!("{delta:.3}")]);
+            }
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Saturating confidence counters.
+
+/// A signed saturating counter of runtime-configurable width.
+///
+/// An `n`-bit counter saturates at `[-2^(n-1), 2^(n-1) - 1]`; the predicted
+/// direction is `value >= 0` (the standard TAGE/GEHL convention where the
+/// "weakly taken" state is 0).
+///
+/// ```
+/// use bp_components::SaturatingCounter;
+/// let mut c = SaturatingCounter::new(3);
+/// assert!(c.is_taken()); // starts weakly taken (0)
+/// c.train(false);
+/// assert!(!c.is_taken());
+/// for _ in 0..10 { c.train(false); }
+/// assert_eq!(c.value(), -4); // saturated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: i8,
+    bits: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter of `bits` width, initialized to 0 (weakly taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=7` (the counter is stored in an
+    /// `i8`; real predictor counters are 2-6 bits).
+    pub fn new(bits: usize) -> Self {
+        assert!((1..=7).contains(&bits), "counter width must be in 1..=7");
+        SaturatingCounter {
+            value: 0,
+            bits: bits as u8,
+        }
+    }
+
+    /// Creates a counter initialized from an observed direction: weakly
+    /// taken for `true`, weakly not-taken for `false` (TAGE allocation).
+    pub fn new_weak(bits: usize, taken: bool) -> Self {
+        let mut c = SaturatingCounter::new(bits);
+        c.value = if taken { 0 } else { -1 };
+        c
+    }
+
+    /// Maximum representable value (`2^(bits-1) - 1`).
+    #[inline]
+    pub fn max(&self) -> i8 {
+        (1i8 << (self.bits - 1)) - 1
+    }
+
+    /// Minimum representable value (`-2^(bits-1)`).
+    #[inline]
+    pub fn min(&self) -> i8 {
+        -(1i8 << (self.bits - 1))
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> i8 {
+        self.value
+    }
+
+    /// Predicted direction: `true` when the value is non-negative.
+    #[inline]
+    pub fn is_taken(&self) -> bool {
+        self.value >= 0
+    }
+
+    /// Distance from the weak states; used as a confidence estimate.
+    /// 0 means weakly taken / weakly not-taken.
+    #[inline]
+    pub fn confidence(&self) -> u8 {
+        if self.value >= 0 {
+            self.value as u8
+        } else {
+            (-(self.value as i16) - 1) as u8
+        }
+    }
+
+    /// Returns `true` when the counter sits at either saturation point.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value == self.max() || self.value == self.min()
+    }
+
+    /// Moves the counter toward `taken`, saturating.
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            if self.value < self.max() {
+                self.value += 1;
+            }
+        } else if self.value > self.min() {
+            self.value -= 1;
+        }
+    }
+
+    /// Moves the counter one step toward 0 (aging / graceful decay).
+    #[inline]
+    pub fn decay(&mut self) {
+        match self.value.cmp(&0) {
+            std::cmp::Ordering::Greater => self.value -= 1,
+            std::cmp::Ordering::Less => self.value += 1,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// Overwrites the value, clamping into range.
+    pub fn set(&mut self, value: i8) {
+        self.value = value.clamp(self.min(), self.max());
+    }
+
+    /// Counter width in bits.
+    pub fn bits(&self) -> usize {
+        usize::from(self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_bit_counter_has_classic_range() {
+        let c = SaturatingCounter::new(2);
+        assert_eq!(c.max(), 1);
+        assert_eq!(c.min(), -2);
+    }
+
+    #[test]
+    fn saturation_both_ends() {
+        let mut c = SaturatingCounter::new(3);
+        for _ in 0..20 {
+            c.train(true);
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.is_saturated());
+        for _ in 0..20 {
+            c.train(false);
+        }
+        assert_eq!(c.value(), -4);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn weak_allocation_matches_direction() {
+        assert!(SaturatingCounter::new_weak(3, true).is_taken());
+        assert!(!SaturatingCounter::new_weak(3, false).is_taken());
+        assert_eq!(SaturatingCounter::new_weak(3, false).confidence(), 0);
+        assert_eq!(SaturatingCounter::new_weak(3, true).confidence(), 0);
+    }
+
+    #[test]
+    fn decay_moves_toward_zero() {
+        let mut c = SaturatingCounter::new(4);
+        c.set(5);
+        c.decay();
+        assert_eq!(c.value(), 4);
+        c.set(-3);
+        c.decay();
+        assert_eq!(c.value(), -2);
+        c.set(0);
+        c.decay();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut c = SaturatingCounter::new(2);
+        c.set(100);
+        assert_eq!(c.value(), 1);
+        c.set(-100);
+        assert_eq!(c.value(), -2);
+        assert_eq!(c.bits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn rejects_wide_counters() {
+        let _ = SaturatingCounter::new(8);
+    }
+
+    proptest! {
+        #[test]
+        fn value_always_in_range(bits in 1usize..=7, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut c = SaturatingCounter::new(bits);
+            for taken in ops {
+                c.train(taken);
+                prop_assert!(c.value() >= c.min() && c.value() <= c.max());
+                prop_assert_eq!(c.is_taken(), c.value() >= 0);
+            }
+        }
+
+        #[test]
+        fn confidence_is_distance_from_weak(bits in 2usize..=6, v in -32i8..=31) {
+            let mut c = SaturatingCounter::new(bits);
+            c.set(v);
+            let expected = if c.value() >= 0 { c.value() } else { -(c.value() + 1) };
+            prop_assert_eq!(i16::from(c.confidence()), i16::from(expected));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Branch predictor building blocks.
+//!
+//! This crate defines the pieces every predictor in the workspace is
+//! assembled from:
+//!
+//! * [`SaturatingCounter`] — the ubiquitous n-bit signed confidence
+//!   counter;
+//! * [`ConditionalPredictor`] — the trait the simulator drives
+//!   (CBP-style `predict`/`update` protocol) plus storage accounting;
+//! * [`BimodalTable`] and the [`Bimodal`]/[`GShare`] reference predictors;
+//! * [`LoopPredictor`] — the Intel-style loop-exit predictor (paper
+//!   §2.2.1), also used by the wormhole predictor to learn trip counts;
+//! * [`AdaptiveThreshold`] — the O-GEHL dynamic update threshold shared by
+//!   GEHL and the statistical corrector;
+//! * [`SumComponent`]/[`SumCtx`] — the adder-tree abstraction of
+//!   neural-inspired predictors. The IMLI components of the paper are
+//!   `SumComponent`s added to a host's summation (paper Figures 5 and 6).
+
+#![warn(missing_docs)]
+
+mod bimodal;
+mod counter;
+mod gshare;
+mod hash;
+mod loop_pred;
+mod predictor;
+mod sum;
+mod threshold;
+
+pub use bimodal::{Bimodal, BimodalTable};
+pub use counter::SaturatingCounter;
+pub use gshare::GShare;
+pub use hash::{fold_u64, mix64, pc_bits};
+pub use loop_pred::{LoopPrediction, LoopPredictor, LoopPredictorConfig};
+pub use predictor::{AlwaysTaken, ConditionalPredictor, PredictorStats};
+pub use sum::{SignedCounterTable, SumComponent, SumCtx};
+pub use threshold::AdaptiveThreshold;

@@ -1,0 +1,127 @@
+//! The simulator-facing predictor trait.
+
+use bp_trace::BranchRecord;
+
+/// A conditional branch direction predictor, driven with the CBP protocol:
+/// for each conditional branch the simulator calls
+/// [`predict`](ConditionalPredictor::predict) and then
+/// [`update`](ConditionalPredictor::update) with the resolved outcome;
+/// non-conditional branches are reported through
+/// [`notify_nonconditional`](ConditionalPredictor::notify_nonconditional)
+/// because they still shift path/target history (and, for IMLI-equipped
+/// predictors, can matter to loop tracking).
+///
+/// `predict` takes `&mut self` because table-based predictors cache their
+/// lookup state (computed indices, matching banks) between the prediction
+/// and the update of the same branch, exactly as the reference CBP
+/// simulators do.
+pub trait ConditionalPredictor {
+    /// Predicts the direction of the conditional branch at `pc`.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Trains the predictor with the resolved outcome of the branch that
+    /// was just predicted. `record.taken` is the true direction.
+    fn update(&mut self, record: &BranchRecord);
+
+    /// Reports a non-conditional branch (jump, call, return, indirect).
+    fn notify_nonconditional(&mut self, record: &BranchRecord) {
+        let _ = record;
+    }
+
+    /// A short human-readable configuration name, e.g. `"TAGE-GSC+IMLI"`.
+    fn name(&self) -> &str;
+
+    /// Total predictor storage in bits (tables + histories), for the
+    /// paper's budget comparisons.
+    fn storage_bits(&self) -> u64;
+}
+
+/// The trivial static predictor (predicts every branch taken). Useful as a
+/// floor baseline and for tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysTaken;
+
+impl ConditionalPredictor for AlwaysTaken {
+    fn predict(&mut self, _pc: u64) -> bool {
+        true
+    }
+
+    fn update(&mut self, _record: &BranchRecord) {}
+
+    fn name(&self) -> &str {
+        "always-taken"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+/// Running prediction accuracy statistics, maintained by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Conditional branches predicted.
+    pub predicted: u64,
+    /// Conditional branches mispredicted.
+    pub mispredicted: u64,
+}
+
+impl PredictorStats {
+    /// Records one prediction outcome.
+    #[inline]
+    pub fn record(&mut self, correct: bool) {
+        self.predicted += 1;
+        if !correct {
+            self.mispredicted += 1;
+        }
+    }
+
+    /// Misprediction ratio in `[0, 1]`, or `None` before any prediction.
+    pub fn misprediction_rate(&self) -> Option<f64> {
+        (self.predicted != 0).then(|| self.mispredicted as f64 / self.predicted as f64)
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &PredictorStats) {
+        self.predicted += other.predicted;
+        self.mispredicted += other.mispredicted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_behaviour() {
+        let mut p = AlwaysTaken;
+        assert!(p.predict(0x1234));
+        p.update(&BranchRecord::conditional(0x1234, 0x1000, false));
+        assert!(p.predict(0x1234), "static predictor never learns");
+        assert_eq!(p.storage_bits(), 0);
+        assert_eq!(p.name(), "always-taken");
+    }
+
+    #[test]
+    fn stats_rates() {
+        let mut s = PredictorStats::default();
+        assert_eq!(s.misprediction_rate(), None);
+        s.record(true);
+        s.record(false);
+        s.record(false);
+        assert_eq!(s.predicted, 3);
+        assert_eq!(s.mispredicted, 2);
+        assert!((s.misprediction_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        let mut t = PredictorStats::default();
+        t.record(true);
+        t.merge(&s);
+        assert_eq!(t.predicted, 4);
+        assert_eq!(t.mispredicted, 2);
+    }
+
+    #[test]
+    fn default_notify_is_a_noop() {
+        let mut p = AlwaysTaken;
+        p.notify_nonconditional(&BranchRecord::call(0x10, 0x20));
+    }
+}

@@ -1,0 +1,167 @@
+//! The neural adder-tree abstraction.
+//!
+//! GEHL and the TAGE statistical corrector both compute their prediction
+//! as the sign of a sum of signed counters read from several tables
+//! (paper Figures 5 and 6). [`SumComponent`] is one such table (or group
+//! of tables); the paper's IMLI-SIC and IMLI-OH components implement this
+//! trait in the `imli` crate and are appended to the host's component
+//! vector — literally the paper's "a single table added to the neural
+//! component".
+
+use crate::counter::SaturatingCounter;
+
+/// Per-branch context passed to every [`SumComponent`].
+///
+/// The host predictor fills this once per prediction. It carries every
+/// history dimension a component might index with; a component uses the
+/// fields relevant to it and ignores the rest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SumCtx {
+    /// PC of the branch being predicted.
+    pub pc: u64,
+    /// The main (TAGE) prediction, for agree/bias-style components.
+    /// `false` for hosts without a main predictor (pure GEHL).
+    pub main_pred: bool,
+    /// Whether the main prediction had low confidence.
+    pub main_conf_low: bool,
+    /// Low 64 bits of the global direction history (bit 0 = most recent).
+    pub ghist: u64,
+    /// Packed path history.
+    pub path: u64,
+    /// Local history of the branch, when the host tracks it (0 otherwise).
+    pub local_history: u32,
+    /// The IMLI counter value (paper §4.1); 0 when the host does not
+    /// track IMLI.
+    pub imli_count: u32,
+    /// `Out[N-1][M]`: outcome of this branch at the same inner iteration
+    /// of the previous outer iteration (from the IMLI outer-history
+    /// table).
+    pub oh_same: bool,
+    /// `Out[N-1][M-1]`: outcome at the previous inner iteration of the
+    /// previous outer iteration (from the PIPE vector).
+    pub oh_prev: bool,
+}
+
+/// A contributor to a neural summation.
+///
+/// Contributions follow the GEHL convention: a counter `c` contributes
+/// `2c + 1`, so a single table never sums to zero and the sign is always
+/// defined.
+pub trait SumComponent {
+    /// Reads this component's contribution for the branch in `ctx`.
+    fn read(&self, ctx: &SumCtx) -> i32;
+
+    /// Trains the component toward `taken` for the branch in `ctx`.
+    fn train(&mut self, ctx: &SumCtx, taken: bool);
+
+    /// Storage in bits.
+    fn storage_bits(&self) -> u64;
+
+    /// Short label for budget breakdowns (e.g. `"imli-sic"`).
+    fn label(&self) -> &str;
+}
+
+/// A single table of signed saturating counters indexed by an arbitrary
+/// hash, contributing `2c + 1` per read: the universal building block of
+/// [`SumComponent`]s.
+///
+/// ```
+/// use bp_components::SignedCounterTable;
+/// let mut t = SignedCounterTable::new(128, 6);
+/// t.train(7, true);
+/// assert!(t.read(7) > 0);
+/// assert_eq!(t.read(8), 1); // untrained entry contributes +1 (weak taken)
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignedCounterTable {
+    counters: Vec<SaturatingCounter>,
+    mask: u64,
+    bits: u8,
+}
+
+impl SignedCounterTable {
+    /// Creates a table of `entries` counters of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `bits` is outside
+    /// `1..=7`.
+    pub fn new(entries: usize, bits: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        SignedCounterTable {
+            counters: vec![SaturatingCounter::new(bits); entries],
+            mask: entries as u64 - 1,
+            bits: bits as u8,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table has zero entries (never; constructor enforces).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Centered read: `2c + 1` for the counter selected by `index`.
+    #[inline]
+    pub fn read(&self, index: u64) -> i32 {
+        let c = &self.counters[(index & self.mask) as usize];
+        2 * i32::from(c.value()) + 1
+    }
+
+    /// Trains the selected counter toward `taken`.
+    #[inline]
+    pub fn train(&mut self, index: u64, taken: bool) {
+        self.counters[(index & self.mask) as usize].train(taken);
+    }
+
+    /// Storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.counters.len() as u64 * u64::from(self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_read_never_zero() {
+        let mut t = SignedCounterTable::new(16, 5);
+        for i in 0..16u64 {
+            assert_ne!(t.read(i), 0);
+        }
+        for _ in 0..40 {
+            t.train(3, false);
+        }
+        assert_eq!(t.read(3), 2 * -16 + 1);
+        for _ in 0..80 {
+            t.train(3, true);
+        }
+        assert_eq!(t.read(3), 2 * 15 + 1);
+    }
+
+    #[test]
+    fn index_wraps_by_mask() {
+        let mut t = SignedCounterTable::new(8, 4);
+        t.train(1, false);
+        assert_eq!(t.read(9), t.read(1));
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn storage_bits() {
+        assert_eq!(SignedCounterTable::new(1024, 6).storage_bits(), 6144);
+    }
+
+    #[test]
+    fn ctx_default_is_neutral() {
+        let ctx = SumCtx::default();
+        assert_eq!(ctx.imli_count, 0);
+        assert!(!ctx.oh_same && !ctx.oh_prev);
+    }
+}

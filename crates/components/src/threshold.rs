@@ -1,0 +1,142 @@
+//! The O-GEHL adaptive update threshold.
+
+/// Dynamic update-threshold fitting, as introduced with O-GEHL and reused
+/// by every statistical corrector since.
+///
+/// Neural-style predictors train their counters only when the prediction
+/// was wrong *or* the summed confidence fell below a threshold θ. The
+/// right θ is workload-dependent, so it is adapted at run time: a
+/// saturating counter `tc` counts mispredictions up (θ was too small) and
+/// low-confidence correct predictions down (θ was too large), nudging θ
+/// whenever it saturates.
+///
+/// ```
+/// use bp_components::AdaptiveThreshold;
+/// let mut t = AdaptiveThreshold::new(6, 127);
+/// assert!(t.should_update(3, false)); // |sum| below theta
+/// assert!(t.should_update(1_000, true)); // mispredictions always train
+/// assert!(!t.should_update(1_000, false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveThreshold {
+    theta: i32,
+    theta_max: i32,
+    tc: i16,
+    tc_sat: i16,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a threshold initialized to `initial_theta` and bounded by
+    /// `theta_max`; the adaptation counter saturates at ±64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_theta` is negative or exceeds `theta_max`.
+    pub fn new(initial_theta: i32, theta_max: i32) -> Self {
+        assert!(
+            (0..=theta_max).contains(&initial_theta),
+            "initial theta out of range"
+        );
+        AdaptiveThreshold {
+            theta: initial_theta,
+            theta_max,
+            tc: 0,
+            tc_sat: 64,
+        }
+    }
+
+    /// Current threshold θ.
+    #[inline]
+    pub fn theta(&self) -> i32 {
+        self.theta
+    }
+
+    /// Whether the counters should be trained for this branch.
+    #[inline]
+    pub fn should_update(&self, sum_abs: i32, mispredicted: bool) -> bool {
+        mispredicted || sum_abs <= self.theta
+    }
+
+    /// Adapts θ from the observed outcome.
+    pub fn adapt(&mut self, sum_abs: i32, mispredicted: bool) {
+        if mispredicted {
+            self.tc += 1;
+            if self.tc >= self.tc_sat {
+                self.tc = 0;
+                if self.theta < self.theta_max {
+                    self.theta += 1;
+                }
+            }
+        } else if sum_abs <= self.theta {
+            self.tc -= 1;
+            if self.tc <= -self.tc_sat {
+                self.tc = 0;
+                if self.theta > 0 {
+                    self.theta -= 1;
+                }
+            }
+        }
+    }
+
+    /// Storage cost in bits (θ register + adaptation counter).
+    pub fn storage_bits(&self) -> u64 {
+        let theta_bits = 32 - self.theta_max.leading_zeros().min(31) as u64;
+        theta_bits + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mispredictions_raise_theta() {
+        let mut t = AdaptiveThreshold::new(0, 100);
+        for _ in 0..64 {
+            t.adapt(50, true);
+        }
+        assert_eq!(t.theta(), 1);
+    }
+
+    #[test]
+    fn easy_correct_predictions_lower_theta() {
+        let mut t = AdaptiveThreshold::new(10, 100);
+        for _ in 0..64 {
+            t.adapt(0, false);
+        }
+        assert_eq!(t.theta(), 9);
+    }
+
+    #[test]
+    fn theta_stays_in_bounds() {
+        let mut t = AdaptiveThreshold::new(0, 2);
+        for _ in 0..64 * 100 {
+            t.adapt(100, true);
+        }
+        assert_eq!(t.theta(), 2);
+        for _ in 0..64 * 100 {
+            t.adapt(0, false);
+        }
+        assert_eq!(t.theta(), 0);
+    }
+
+    #[test]
+    fn high_confidence_correct_predictions_do_not_adapt() {
+        let mut t = AdaptiveThreshold::new(5, 100);
+        for _ in 0..1000 {
+            t.adapt(50, false);
+        }
+        assert_eq!(t.theta(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial theta")]
+    fn rejects_negative_theta() {
+        let _ = AdaptiveThreshold::new(-1, 10);
+    }
+
+    #[test]
+    fn storage_is_nonzero() {
+        assert!(AdaptiveThreshold::new(6, 127).storage_bits() > 8);
+    }
+}

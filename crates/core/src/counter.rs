@@ -1,0 +1,165 @@
+//! The Inner Most Loop Iteration counter (paper §4.1).
+
+use bp_trace::BranchRecord;
+
+/// The IMLI counter.
+///
+/// The paper's fetch-time heuristic: a loop body ends with a backward
+/// conditional branch, and a loop is *inner-most* while no other backward
+/// branch intervenes. The iteration index of the inner-most loop is then
+/// simply the number of consecutive times the last backward conditional
+/// branch was taken:
+///
+/// ```text
+/// if (backward) { if (taken) IMLIcount++; else IMLIcount = 0; }
+/// ```
+///
+/// The counter saturates at its configured width (10 bits by default, so
+/// the checkpointed speculative state is 10 bits, §4.2.1).
+///
+/// ```
+/// use imli::ImliCounter;
+/// use bp_trace::BranchRecord;
+/// let mut c = ImliCounter::new(10);
+/// let back = |t| BranchRecord::conditional(0x200, 0x100, t);
+/// c.observe(&back(true));
+/// c.observe(&back(true));
+/// assert_eq!(c.value(), 2);
+/// c.observe(&back(false));
+/// assert_eq!(c.value(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImliCounter {
+    value: u32,
+    max: u32,
+    bits: u8,
+}
+
+impl ImliCounter {
+    /// Creates a counter of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn new(bits: usize) -> Self {
+        assert!((1..=16).contains(&bits), "counter width must be in 1..=16");
+        ImliCounter {
+            value: 0,
+            max: (1u32 << bits) - 1,
+            bits: bits as u8,
+        }
+    }
+
+    /// The current inner-most-loop iteration index.
+    #[inline]
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Width in bits (the checkpoint cost).
+    pub fn bits(&self) -> usize {
+        usize::from(self.bits)
+    }
+
+    /// Observes a branch. Only *backward conditional* branches move the
+    /// counter, per the paper's heuristic; everything else leaves it
+    /// untouched.
+    #[inline]
+    pub fn observe(&mut self, record: &BranchRecord) {
+        if record.is_conditional() && record.is_backward() {
+            if record.taken {
+                self.value = (self.value + 1).min(self.max);
+            } else {
+                self.value = 0;
+            }
+        }
+    }
+
+    /// Overwrites the value (checkpoint restore), clamping to the width.
+    pub fn set(&mut self, value: u32) {
+        self.value = value.min(self.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn backward(taken: bool) -> BranchRecord {
+        BranchRecord::conditional(0x1000, 0x800, taken)
+    }
+
+    fn forward(taken: bool) -> BranchRecord {
+        BranchRecord::conditional(0x1000, 0x1800, taken)
+    }
+
+    #[test]
+    fn counts_consecutive_taken_backward() {
+        let mut c = ImliCounter::new(10);
+        for i in 1..=5 {
+            c.observe(&backward(true));
+            assert_eq!(c.value(), i);
+        }
+        c.observe(&backward(false));
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn forward_branches_are_ignored() {
+        let mut c = ImliCounter::new(10);
+        c.observe(&backward(true));
+        c.observe(&forward(true));
+        c.observe(&forward(false));
+        assert_eq!(c.value(), 1, "forward conditionals must not move IMLI");
+    }
+
+    #[test]
+    fn nonconditional_backward_jumps_are_ignored() {
+        // The paper's heuristic acts on backward *conditional* branches;
+        // unconditional loop-back jumps (do/while compiled differently)
+        // do not reset or advance the counter.
+        let mut c = ImliCounter::new(10);
+        c.observe(&backward(true));
+        c.observe(&BranchRecord::unconditional(0x1000, 0x800));
+        c.observe(&BranchRecord::ret(0x1000, 0x800));
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn saturates_at_width() {
+        let mut c = ImliCounter::new(3);
+        for _ in 0..100 {
+            c.observe(&backward(true));
+        }
+        assert_eq!(c.value(), 7);
+        assert_eq!(c.bits(), 3);
+    }
+
+    #[test]
+    fn set_clamps_to_width() {
+        let mut c = ImliCounter::new(4);
+        c.set(1000);
+        assert_eq!(c.value(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn rejects_zero_width() {
+        let _ = ImliCounter::new(0);
+    }
+
+    proptest! {
+        /// The counter always equals the length of the trailing run of
+        /// taken outcomes among backward conditional branches (clamped).
+        #[test]
+        fn equals_trailing_taken_run(outcomes in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut c = ImliCounter::new(10);
+            for &t in &outcomes {
+                c.observe(&backward(t));
+            }
+            let run = outcomes.iter().rev().take_while(|&&t| t).count() as u32;
+            prop_assert_eq!(c.value(), run.min(1023));
+        }
+    }
+}

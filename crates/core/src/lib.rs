@@ -1,0 +1,55 @@
+//! # IMLI predictor components
+//!
+//! This crate implements the contribution of *"The Inner Most Loop
+//! Iteration counter: a new dimension in branch history"* (Seznec,
+//! San Miguel, Albericio; MICRO 2015):
+//!
+//! * [`ImliCounter`] — the fetch-time Inner Most Loop Iteration counter
+//!   (§4.1): the number of consecutive *taken* occurrences of the most
+//!   recent backward conditional branch;
+//! * [`ImliSic`] — the Same Iteration Correlation table (§4.2): a single
+//!   `hash(PC, IMLIcount)`-indexed table added to a neural summation;
+//! * [`ImliOh`] + [`OuterHistory`] + its PIPE vector (§4.3): the Outer
+//!   History component tracking `Out[N-1][M]` and `Out[N-1][M-1]` for
+//!   branches in two-dimensional loop nests — the correlations the
+//!   wormhole predictor targets;
+//! * [`ImliState`] — the bundle a host predictor embeds; it exposes the
+//!   paper's tiny speculative checkpoint ([`ImliCheckpoint`]: 10-bit
+//!   counter + 16-bit PIPE, §4.4) and an optional delayed-update mode for
+//!   the outer-history table (§4.3.2).
+//!
+//! The components plug into any neural-inspired host through
+//! [`bp_components::SumComponent`]; the `bp-tage` and `bp-gehl` crates
+//! embed them into TAGE-GSC and GEHL exactly as the paper's Figures 5
+//! and 6 depict.
+//!
+//! ## Example: tracking a 2-D loop nest
+//!
+//! ```
+//! use imli::{ImliConfig, ImliState};
+//! use bp_trace::BranchRecord;
+//!
+//! let mut state = ImliState::new(&ImliConfig::default());
+//! // Three inner iterations (backward branch taken), then loop exit.
+//! let inner = |taken| BranchRecord::conditional(0x110, 0x100, taken);
+//! for m in 0..3 {
+//!     assert_eq!(state.counter().value(), m);
+//!     state.observe(&inner(true));
+//! }
+//! state.observe(&inner(false)); // inner loop exits
+//! assert_eq!(state.counter().value(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod counter;
+mod outer;
+mod sic;
+mod state;
+
+pub use config::ImliConfig;
+pub use counter::ImliCounter;
+pub use outer::{ImliOh, OuterHistory};
+pub use sic::ImliSic;
+pub use state::{ImliCheckpoint, ImliState};

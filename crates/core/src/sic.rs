@@ -1,0 +1,148 @@
+//! The IMLI-SIC (Same Iteration Correlation) component (paper §4.2).
+
+use bp_components::{mix64, pc_bits, SignedCounterTable, SumComponent, SumCtx};
+
+/// The IMLI-SIC prediction table: signed counters indexed with a hash of
+/// the branch PC and the IMLI counter.
+///
+/// It captures branches whose outcome (statistically) repeats for the same
+/// inner-most-loop iteration index across outer iterations —
+/// `Out[N][M] ≡ Out[N-1][M]` — including the two cases the wormhole
+/// predictor structurally misses (paper §4.2.2):
+///
+/// * loops with *variable* trip counts (IMLI needs no trip count), and
+/// * branches under nested conditionals that do not execute on every
+///   inner iteration (IMLI indexes by iteration, not by occurrence).
+///
+/// As a side effect the table also learns inner-loop *exit* iterations,
+/// which is why the paper finds the loop predictor nearly redundant once
+/// IMLI-SIC is present.
+///
+/// ```
+/// use imli::ImliSic;
+/// use bp_components::{SumComponent, SumCtx};
+/// let mut sic = ImliSic::new(512, 6);
+/// // Branch is taken exactly at inner iteration 3, every outer iteration.
+/// for _ in 0..32 {
+///     for m in 0..8 {
+///         let ctx = SumCtx { pc: 0x40, imli_count: m, ..SumCtx::default() };
+///         sic.train(&ctx, m == 3);
+///     }
+/// }
+/// let at3 = SumCtx { pc: 0x40, imli_count: 3, ..SumCtx::default() };
+/// let at4 = SumCtx { pc: 0x40, imli_count: 4, ..SumCtx::default() };
+/// assert!(sic.read(&at3) > 0);
+/// assert!(sic.read(&at4) < 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImliSic {
+    table: SignedCounterTable,
+}
+
+impl ImliSic {
+    /// Creates the table with `entries` counters of `bits` width
+    /// (paper: 512 × 6 bits = 384 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`SignedCounterTable::new`]'s conditions.
+    pub fn new(entries: usize, bits: usize) -> Self {
+        ImliSic {
+            table: SignedCounterTable::new(entries, bits),
+        }
+    }
+
+    /// The PC ⊕ IMLI hash shared by `read` and `train`. Public so the
+    /// statistical-corrector hosts can reuse the same dispersion when
+    /// folding the IMLI counter into *their* table indices (the paper's
+    /// "inserting the IMLI counter in the indices of two tables" variant).
+    #[inline]
+    pub fn index(pc: u64, imli_count: u32) -> u64 {
+        mix64(pc_bits(pc) ^ (u64::from(imli_count) << 44))
+    }
+}
+
+impl SumComponent for ImliSic {
+    fn read(&self, ctx: &SumCtx) -> i32 {
+        self.table.read(Self::index(ctx.pc, ctx.imli_count))
+    }
+
+    fn train(&mut self, ctx: &SumCtx, taken: bool) {
+        self.table.train(Self::index(ctx.pc, ctx.imli_count), taken);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.storage_bits()
+    }
+
+    fn label(&self) -> &str {
+        "imli-sic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64, imli: u32) -> SumCtx {
+        SumCtx {
+            pc,
+            imli_count: imli,
+            ..SumCtx::default()
+        }
+    }
+
+    #[test]
+    fn separates_iterations_of_same_branch() {
+        let mut sic = ImliSic::new(512, 6);
+        for _ in 0..64 {
+            sic.train(&ctx(0x100, 1), true);
+            sic.train(&ctx(0x100, 2), false);
+        }
+        assert!(sic.read(&ctx(0x100, 1)) > 0);
+        assert!(sic.read(&ctx(0x100, 2)) < 0);
+    }
+
+    #[test]
+    fn separates_branches_at_same_iteration() {
+        let mut sic = ImliSic::new(512, 6);
+        for _ in 0..64 {
+            sic.train(&ctx(0x100, 5), true);
+            sic.train(&ctx(0x2000, 5), false);
+        }
+        assert!(sic.read(&ctx(0x100, 5)) > 0);
+        assert!(sic.read(&ctx(0x2000, 5)) < 0);
+    }
+
+    #[test]
+    fn learns_loop_exit_iteration() {
+        // A constant-trip inner loop: the backward branch is taken for
+        // m in 0..7 and not-taken at m == 7; SIC learns the exit, which
+        // is why the loop predictor becomes nearly redundant (§4.2.2).
+        let mut sic = ImliSic::new(512, 6);
+        let pc = 0xbeef;
+        for _ in 0..40 {
+            for m in 0..=7 {
+                sic.train(&ctx(pc, m), m < 7);
+            }
+        }
+        for m in 0..7 {
+            assert!(sic.read(&ctx(pc, m)) > 0, "body iteration {m}");
+        }
+        assert!(sic.read(&ctx(pc, 7)) < 0, "exit iteration");
+    }
+
+    #[test]
+    fn label_and_storage() {
+        let sic = ImliSic::new(512, 6);
+        assert_eq!(sic.label(), "imli-sic");
+        assert_eq!(sic.storage_bits(), 3072);
+    }
+
+    #[test]
+    fn index_is_deterministic_and_disperses() {
+        assert_eq!(ImliSic::index(0x40, 3), ImliSic::index(0x40, 3));
+        assert_ne!(ImliSic::index(0x40, 3), ImliSic::index(0x40, 4));
+        assert_ne!(ImliSic::index(0x40, 3), ImliSic::index(0x44, 3));
+    }
+}

@@ -1,0 +1,505 @@
+//! The GEHL predictor (Seznec 2005), with IMLI and FTL extensions.
+
+use bp_components::{
+    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, LoopPredictor, LoopPredictorConfig,
+    SignedCounterTable, SumCtx,
+};
+use bp_history::{HistoryState, LocalHistoryTable};
+use bp_trace::BranchRecord;
+use imli::{ImliConfig, ImliState};
+
+/// Configuration of a [`Gehl`] predictor.
+#[derive(Debug, Clone)]
+pub struct GehlConfig {
+    /// log2 of each global table's entry count.
+    pub log_entries: usize,
+    /// Counter width.
+    pub counter_bits: usize,
+    /// Number of global-history tables (table 0 is PC-indexed).
+    pub num_tables: usize,
+    /// Shortest non-zero history length.
+    pub min_history: usize,
+    /// Longest history length.
+    pub max_history: usize,
+    /// Path history bits.
+    pub path_bits: usize,
+    /// IMLI components (paper Figure 6), if any.
+    pub imli: Option<ImliConfig>,
+    /// Local GEHL component (the FTL configuration of §5), if any:
+    /// `(history_width, num_tables)` with 256 local histories and
+    /// 2^log_entries counters per table.
+    pub local: Option<(usize, usize)>,
+    /// Loop predictor (FTL), if any.
+    pub loop_predictor: Option<LoopPredictorConfig>,
+    /// Initial / maximum adaptive threshold.
+    pub threshold_init: i32,
+    /// Threshold ceiling.
+    pub threshold_max: i32,
+    /// Display name.
+    pub name: String,
+}
+
+impl GehlConfig {
+    /// The paper's 204 Kbit GEHL: 17 tables × 2K × 6-bit counters,
+    /// maximum history length 600.
+    pub fn base() -> Self {
+        GehlConfig {
+            log_entries: 11,
+            counter_bits: 6,
+            num_tables: 17,
+            min_history: 2,
+            max_history: 600,
+            path_bits: 16,
+            imli: None,
+            local: None,
+            loop_predictor: None,
+            threshold_init: 20,
+            threshold_max: 511,
+            name: "GEHL".to_owned(),
+        }
+    }
+
+    /// GEHL + both IMLI components.
+    pub fn imli() -> Self {
+        GehlConfig {
+            imli: Some(ImliConfig::default()),
+            name: "GEHL+IMLI".to_owned(),
+            ..Self::base()
+        }
+    }
+
+    /// GEHL + IMLI-SIC only.
+    pub fn sic_only() -> Self {
+        GehlConfig {
+            imli: Some(ImliConfig::sic_only()),
+            name: "GEHL+SIC".to_owned(),
+            ..Self::base()
+        }
+    }
+
+    /// GEHL + IMLI-OH only.
+    pub fn oh_only() -> Self {
+        GehlConfig {
+            imli: Some(ImliConfig::oh_only()),
+            name: "GEHL+OH".to_owned(),
+            ..Self::base()
+        }
+    }
+
+    /// FTL (§5): GEHL + 4 local tables over 24-bit local histories + a
+    /// 32-entry loop predictor.
+    pub fn ftl() -> Self {
+        GehlConfig {
+            local: Some((24, 4)),
+            loop_predictor: Some(LoopPredictorConfig {
+                log_entries: 5,
+                ..LoopPredictorConfig::default()
+            }),
+            name: "FTL".to_owned(),
+            ..Self::base()
+        }
+    }
+
+    /// FTL + IMLI.
+    pub fn ftl_imli() -> Self {
+        GehlConfig {
+            imli: Some(ImliConfig::default()),
+            name: "FTL+IMLI".to_owned(),
+            ..Self::ftl()
+        }
+    }
+
+    /// History length of table `i` (0 for the PC-indexed table, then the
+    /// geometric series `min → max`).
+    pub fn history_length(&self, i: usize) -> usize {
+        if i == 0 {
+            return 0;
+        }
+        let steps = self.num_tables - 1;
+        if steps == 1 {
+            return self.max_history;
+        }
+        let ratio = (self.max_history as f64 / self.min_history as f64)
+            .powf((i - 1) as f64 / (steps as f64 - 1.0));
+        ((self.min_history as f64 * ratio) + 0.5) as usize
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate table counts or history bounds.
+    pub fn validate(&self) {
+        assert!(self.num_tables >= 2, "need at least two tables");
+        assert!(
+            self.min_history >= 1 && self.max_history > self.min_history,
+            "history bounds must be increasing"
+        );
+        assert!(
+            (6..=16).contains(&self.log_entries),
+            "log_entries out of range"
+        );
+        if let Some(imli) = &self.imli {
+            imli.validate();
+        }
+        if let Some((width, tables)) = self.local {
+            assert!((1..=32).contains(&width), "local width out of range");
+            assert!(tables >= 1, "need at least one local table");
+        }
+    }
+}
+
+/// The GEHL predictor: a pure adder-tree of geometrically-indexed
+/// tables; optionally extended with IMLI components (paper Figure 6)
+/// and/or a local component + loop predictor (FTL).
+pub struct Gehl {
+    config: GehlConfig,
+    tables: Vec<SignedCounterTable>,
+    folds: Vec<Option<usize>>,
+    history: HistoryState,
+    local_history: Option<LocalHistoryTable>,
+    local_tables: Vec<SignedCounterTable>,
+    imli: Option<ImliState>,
+    loop_pred: Option<LoopPredictor>,
+    threshold: AdaptiveThreshold,
+    lookup: Option<(SumCtx, i32, bool)>,
+    last_pred: bool,
+}
+
+impl Gehl {
+    /// Builds a GEHL predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GehlConfig::validate`].
+    pub fn new(config: GehlConfig) -> Self {
+        config.validate();
+        let capacity = (config.max_history + 1).next_power_of_two().max(2048);
+        let mut history = HistoryState::new(capacity, config.path_bits);
+        let mut folds = Vec::with_capacity(config.num_tables);
+        for i in 0..config.num_tables {
+            let hlen = config.history_length(i);
+            folds.push((hlen > 0).then(|| history.add_fold(hlen, config.log_entries)));
+        }
+        let entries = 1usize << config.log_entries;
+        Gehl {
+            tables: (0..config.num_tables)
+                .map(|_| SignedCounterTable::new(entries, config.counter_bits))
+                .collect(),
+            folds,
+            history,
+            local_history: config
+                .local
+                .map(|(width, _)| LocalHistoryTable::new(256, width)),
+            local_tables: config.local.map_or_else(Vec::new, |(_, tables)| {
+                (0..tables)
+                    .map(|_| SignedCounterTable::new(entries, config.counter_bits))
+                    .collect()
+            }),
+            imli: config.imli.as_ref().map(ImliState::new),
+            loop_pred: config.loop_predictor.map(LoopPredictor::new),
+            threshold: AdaptiveThreshold::new(config.threshold_init, config.threshold_max),
+            lookup: None,
+            last_pred: false,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GehlConfig {
+        &self.config
+    }
+
+    /// Read-only access to the embedded IMLI state, when configured.
+    pub fn imli(&self) -> Option<&ImliState> {
+        self.imli.as_ref()
+    }
+
+    #[inline]
+    fn table_index(&self, i: usize, pc: u64, imli_count: u32) -> u64 {
+        let mut v = pc_bits(pc) ^ ((i as u64) << 59);
+        if let Some(fold) = self.folds[i] {
+            let hlen = self.config.history_length(i) as u64;
+            v ^= u64::from(self.history.fold(fold)) ^ (hlen << 13);
+            v ^= self.history.path() & 0x3F;
+        }
+        // Paper §4.2: folding the IMLI counter into two of the global
+        // table indices increases the SIC benefit.
+        if self.imli.is_some() && (i == 2 || i == 3) {
+            v ^= mix64(u64::from(imli_count)) >> 7;
+        }
+        v
+    }
+
+    #[inline]
+    fn local_index(&self, i: usize, pc: u64, lhist: u32) -> u64 {
+        let len = 6 * (i + 1); // local lengths 6, 12, 18, 24
+        let hist = u64::from(lhist) & ((1u64 << len.min(32)) - 1);
+        pc_bits(pc) ^ mix64(hist ^ ((i as u64 + 1) << 53))
+    }
+
+    /// Storage breakdown: (component, bits).
+    pub fn budget_breakdown(&self) -> Vec<(String, u64)> {
+        let mut parts = vec![(
+            "gehl-global".to_owned(),
+            self.tables
+                .iter()
+                .map(SignedCounterTable::storage_bits)
+                .sum(),
+        )];
+        if !self.local_tables.is_empty() {
+            let local_bits: u64 = self
+                .local_tables
+                .iter()
+                .map(SignedCounterTable::storage_bits)
+                .sum();
+            parts.push((
+                "gehl-local".to_owned(),
+                local_bits
+                    + self
+                        .local_history
+                        .as_ref()
+                        .map_or(0, LocalHistoryTable::storage_bits),
+            ));
+        }
+        if let Some(lp) = &self.loop_pred {
+            parts.push(("loop".to_owned(), lp.storage_bits()));
+        }
+        if let Some(imli) = &self.imli {
+            parts.push(("imli".to_owned(), imli.storage_bits()));
+        }
+        parts
+    }
+}
+
+impl ConditionalPredictor for Gehl {
+    fn predict(&mut self, pc: u64) -> bool {
+        let mut ctx = SumCtx {
+            pc,
+            ghist: self.history.global().low_bits(64),
+            path: self.history.path(),
+            ..SumCtx::default()
+        };
+        if let Some(lh) = &self.local_history {
+            ctx.local_history = lh.history(pc);
+        }
+        if let Some(imli) = &self.imli {
+            imli.fill_ctx(&mut ctx);
+        }
+
+        let mut sum = 0i32;
+        for i in 0..self.tables.len() {
+            sum += self.tables[i].read(self.table_index(i, pc, ctx.imli_count));
+        }
+        for i in 0..self.local_tables.len() {
+            sum += self.local_tables[i].read(self.local_index(i, pc, ctx.local_history));
+        }
+        if let Some(imli) = &self.imli {
+            sum += imli.read(&ctx);
+        }
+
+        let mut pred = sum >= 0;
+        let mut loop_used = false;
+        if let Some(lp) = &self.loop_pred {
+            if let Some(loop_pred) = lp.predict(pc) {
+                if loop_pred.high_confidence {
+                    pred = loop_pred.taken;
+                    loop_used = true;
+                }
+            }
+        }
+        self.lookup = Some((ctx, sum, loop_used));
+        self.last_pred = pred;
+        pred
+    }
+
+    fn update(&mut self, record: &BranchRecord) {
+        let (ctx, sum, _loop_used) = self.lookup.take().expect("update without pending predict");
+        let taken = record.taken;
+        let mispredicted = self.last_pred != taken;
+        let neural_mispredicted = (sum >= 0) != taken;
+        let sum_abs = sum.abs();
+
+        if let Some(lp) = &mut self.loop_pred {
+            // Backward-branch-gated allocation: see TageSc::update.
+            lp.update(record.pc, taken, mispredicted && record.is_backward());
+        }
+
+        if self.threshold.should_update(sum_abs, neural_mispredicted) {
+            for i in 0..self.tables.len() {
+                let idx = self.table_index(i, record.pc, ctx.imli_count);
+                self.tables[i].train(idx, taken);
+            }
+            for i in 0..self.local_tables.len() {
+                let idx = self.local_index(i, record.pc, ctx.local_history);
+                self.local_tables[i].train(idx, taken);
+            }
+            if let Some(imli) = &mut self.imli {
+                imli.train(&ctx, taken);
+            }
+        }
+        self.threshold.adapt(sum_abs, neural_mispredicted);
+
+        if let Some(imli) = &mut self.imli {
+            imli.observe(record);
+        }
+        if let Some(lh) = &mut self.local_history {
+            lh.update(record.pc, taken);
+        }
+        self.history.push(taken, record.pc);
+    }
+
+    fn notify_nonconditional(&mut self, record: &BranchRecord) {
+        if let Some(imli) = &mut self.imli {
+            imli.observe(record);
+        }
+        self.history.push_path_only(record.pc);
+    }
+
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.budget_breakdown().iter().map(|(_, b)| b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy<F: FnMut(u64) -> bool>(
+        p: &mut Gehl,
+        pc: u64,
+        n: u64,
+        warm: u64,
+        mut outcome: F,
+    ) -> f64 {
+        let mut correct = 0u64;
+        for i in 0..n {
+            let taken = outcome(i);
+            let pred = p.predict(pc);
+            if i >= warm {
+                correct += u64::from(pred == taken);
+            }
+            p.update(&BranchRecord::conditional(pc, pc + 0x40, taken));
+        }
+        correct as f64 / (n - warm) as f64
+    }
+
+    #[test]
+    fn base_budget_is_exactly_204_kbit() {
+        let p = Gehl::gehl();
+        assert_eq!(p.storage_bits(), 17 * 2048 * 6);
+        assert_eq!(p.storage_bits(), 204 * 1024);
+    }
+
+    #[test]
+    fn history_series_is_geometric() {
+        let c = GehlConfig::base();
+        assert_eq!(c.history_length(0), 0);
+        assert_eq!(c.history_length(1), 2);
+        assert_eq!(c.history_length(16), 600);
+        for i in 2..17 {
+            assert!(c.history_length(i) > c.history_length(i - 1));
+        }
+    }
+
+    #[test]
+    fn learns_biased_and_periodic_branches() {
+        let mut p = Gehl::gehl();
+        assert!(accuracy(&mut p, 0x100, 2000, 1000, |_| true) > 0.99);
+        let mut q = Gehl::gehl();
+        let acc = accuracy(&mut q, 0x100, 8000, 4000, |i| i % 5 < 2);
+        assert!(acc > 0.95, "period-5 accuracy {acc:.3}");
+    }
+
+    #[test]
+    fn table_2_budget_ordering() {
+        let base = Gehl::gehl().storage_bits();
+        let imli = Gehl::gehl_imli().storage_bits();
+        let ftl = Gehl::ftl().storage_bits();
+        let both = Gehl::ftl_imli().storage_bits();
+        assert!(base < imli && imli < ftl && ftl < both);
+        // Paper Table 2: 204 → 209 ("+I"), → 256 ("+L"), → 261 Kbits.
+        assert!((imli - base) < 8 * 1024);
+        assert!((ftl - base) > 40 * 1024);
+    }
+
+    #[test]
+    fn imli_variant_fixes_same_iteration_branch() {
+        // Outcome depends only on the inner-loop iteration index with a
+        // variable trip count: global history alone struggles, IMLI-SIC
+        // nails it.
+        let run = |p: &mut Gehl| -> f64 {
+            let body = 0x4008u64;
+            let noise_pc = 0x400cu64;
+            let back_pc = 0x4010u64;
+            let mut correct = 0u64;
+            let mut total = 0u64;
+            let mut rng = 0x1234_5678u64;
+            let mut step = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            // Per-iteration pattern that drifts slowly: Out[N][M] equals
+            // Out[N-1][M] except for one random flip per outer iteration.
+            let mut pattern: Vec<bool> = (0..32).map(|_| step() & 1 == 1).collect();
+            for n in 0..600u64 {
+                let trips = 8 + (step() % 24) as u32; // variable trip count
+                for m in 0..trips {
+                    let taken = pattern[m as usize];
+                    let pred = p.predict(body);
+                    if n > 150 {
+                        total += 1;
+                        correct += u64::from(pred == taken);
+                    }
+                    p.update(&BranchRecord::conditional(body, body + 0x40, taken));
+                    // History-polluting random branch in the loop body.
+                    let noise = step() & 1 == 1;
+                    let _ = p.predict(noise_pc);
+                    p.update(&BranchRecord::conditional(noise_pc, noise_pc + 0x40, noise));
+                    let back_taken = m + 1 < trips;
+                    let _ = p.predict(back_pc);
+                    p.update(&BranchRecord::conditional(back_pc, 0x4000, back_taken));
+                }
+                let flip = (step() % 32) as usize;
+                pattern[flip] = !pattern[flip];
+            }
+            correct as f64 / total as f64
+        };
+        let base_acc = run(&mut Gehl::gehl());
+        let imli_acc = run(&mut Gehl::gehl_imli());
+        assert!(
+            imli_acc > base_acc + 0.02,
+            "IMLI should beat base on variable-trip SIC workload: {imli_acc:.3} vs {base_acc:.3}"
+        );
+        assert!(imli_acc > 0.9, "IMLI accuracy {imli_acc:.3}");
+    }
+
+    #[test]
+    fn names_match_labels() {
+        assert_eq!(Gehl::gehl().name(), "GEHL");
+        assert_eq!(Gehl::gehl_imli().name(), "GEHL+IMLI");
+        assert_eq!(Gehl::ftl().name(), "FTL");
+        assert_eq!(Gehl::ftl_imli().name(), "FTL+IMLI");
+    }
+
+    #[test]
+    #[should_panic(expected = "update without pending predict")]
+    fn update_requires_predict() {
+        let mut p = Gehl::gehl();
+        p.update(&BranchRecord::conditional(0x40, 0x80, true));
+    }
+
+    #[test]
+    fn nonconditional_notifications_are_safe() {
+        let mut p = Gehl::gehl_imli();
+        p.notify_nonconditional(&BranchRecord::unconditional(0x40, 0x80));
+        let _ = p.predict(0x44);
+        p.update(&BranchRecord::conditional(0x44, 0x20, true));
+    }
+}

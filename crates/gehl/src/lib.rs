@@ -1,0 +1,49 @@
+//! GEHL-family predictors.
+//!
+//! The paper's second host family (§3.2.2): the GEHL predictor — a
+//! GEometric History Length neural predictor summing 17 tables of 2K
+//! 6-bit counters indexed with global history folds up to length 600
+//! (204 Kbits, exactly the paper's budget) — plus the IMLI-augmented
+//! variant (Figure 6) and the FTL configuration (§5: GEHL + a local
+//! GEHL component + a loop predictor).
+
+#![warn(missing_docs)]
+
+mod gehl;
+
+pub use gehl::{Gehl, GehlConfig};
+
+/// Named configurations of Table 2.
+#[allow(clippy::self_named_constructors)]
+impl Gehl {
+    /// The base GEHL predictor (paper: 204 Kbits, 2.864 MPKI on CBP4).
+    pub fn gehl() -> Gehl {
+        Gehl::new(GehlConfig::base())
+    }
+
+    /// GEHL + both IMLI components ("+I"; paper: 209 Kbits).
+    pub fn gehl_imli() -> Gehl {
+        Gehl::new(GehlConfig::imli())
+    }
+
+    /// GEHL + IMLI-SIC only (the intermediate bars of Figures 10-11).
+    pub fn gehl_sic() -> Gehl {
+        Gehl::new(GehlConfig::sic_only())
+    }
+
+    /// GEHL + IMLI-OH only (Figure 13).
+    pub fn gehl_oh() -> Gehl {
+        Gehl::new(GehlConfig::oh_only())
+    }
+
+    /// FTL: GEHL + local GEHL tables + loop predictor ("+L";
+    /// paper: 256 Kbits).
+    pub fn ftl() -> Gehl {
+        Gehl::new(GehlConfig::ftl())
+    }
+
+    /// FTL + IMLI ("+I+L"; paper: 261 Kbits).
+    pub fn ftl_imli() -> Gehl {
+        Gehl::new(GehlConfig::ftl_imli())
+    }
+}

@@ -1,0 +1,237 @@
+//! Global direction history with pointer-based speculation repair.
+
+use std::fmt;
+
+/// Checkpoint of a [`GlobalHistory`]: just the speculative head pointer.
+///
+/// This is the paper's point (§2.3.1): repairing speculative *global*
+/// history after a misprediction only requires restoring a small pointer,
+/// unlike local history which needs an associative search over the window
+/// of in-flight branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalHistoryCheckpoint {
+    head: u64,
+}
+
+impl GlobalHistoryCheckpoint {
+    /// Width in bits of the state that a hardware implementation would
+    /// store in a checkpoint for a history buffer of capacity `capacity`.
+    pub fn cost_bits(capacity: usize) -> u32 {
+        usize::BITS - (capacity.max(2) - 1).leading_zeros()
+    }
+}
+
+/// Global branch direction history.
+///
+/// Outcomes are pushed most-recent-first into a circular bit buffer whose
+/// head is a monotonically increasing counter. Reading bit `i` returns the
+/// direction of the branch `i` occurrences ago (0 = most recent).
+///
+/// Wrong-path pushes write *ahead* of any committed data, so restoring a
+/// checkpoint is just rewinding the head pointer: the bits behind it were
+/// never clobbered (as long as the wrong path is shorter than the buffer,
+/// which holds by construction for any realistic in-flight window).
+///
+/// ```
+/// use bp_history::GlobalHistory;
+/// let mut h = GlobalHistory::new(256);
+/// h.push(true);
+/// h.push(false);
+/// assert!(!h.bit(0)); // most recent outcome
+/// assert!(h.bit(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalHistory {
+    words: Vec<u64>,
+    mask: u64,
+    head: u64,
+}
+
+impl GlobalHistory {
+    /// Creates a history buffer with capacity for `capacity` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two or is smaller than 64.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two() && capacity >= 64,
+            "capacity must be a power of two >= 64, got {capacity}"
+        );
+        GlobalHistory {
+            words: vec![0; capacity / 64],
+            mask: capacity as u64 - 1,
+            head: 0,
+        }
+    }
+
+    /// Capacity in outcomes.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Number of outcomes pushed so far (monotonic, never wraps in
+    /// practice: 2^64 branches is centuries of execution).
+    pub fn pushes(&self) -> u64 {
+        self.head
+    }
+
+    /// Appends the outcome of the most recent branch.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        let slot = self.head & self.mask;
+        let word = (slot / 64) as usize;
+        let bit = slot % 64;
+        if taken {
+            self.words[word] |= 1 << bit;
+        } else {
+            self.words[word] &= !(1 << bit);
+        }
+        self.head += 1;
+    }
+
+    /// Returns the direction of the branch `age` occurrences ago
+    /// (0 = most recent). Branches older than the capacity — or earlier
+    /// than the first push — read as not-taken.
+    #[inline]
+    pub fn bit(&self, age: usize) -> bool {
+        if age as u64 >= self.head || age >= self.capacity() {
+            return false;
+        }
+        let slot = (self.head - 1 - age as u64) & self.mask;
+        let word = (slot / 64) as usize;
+        (self.words[word] >> (slot % 64)) & 1 == 1
+    }
+
+    /// Packs the `n` most recent outcomes into the low bits of a `u64`
+    /// (bit 0 = most recent). `n` must be at most 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n <= 64, "low_bits supports at most 64 bits, got {n}");
+        let mut v = 0u64;
+        for i in (0..n).rev() {
+            v = (v << 1) | u64::from(self.bit(i));
+        }
+        v
+    }
+
+    /// Takes a checkpoint: the current speculative head pointer.
+    #[inline]
+    pub fn checkpoint(&self) -> GlobalHistoryCheckpoint {
+        GlobalHistoryCheckpoint { head: self.head }
+    }
+
+    /// Rewinds to a previous checkpoint, discarding wrong-path outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint is in the future, or if more outcomes than
+    /// the buffer capacity were pushed since the checkpoint (the bits would
+    /// have been physically overwritten — a real pipeline can never be that
+    /// deep relative to its history buffer).
+    pub fn restore(&mut self, cp: GlobalHistoryCheckpoint) {
+        assert!(cp.head <= self.head, "checkpoint is in the future");
+        assert!(
+            self.head - cp.head <= self.capacity() as u64,
+            "wrong path longer than history capacity"
+        );
+        self.head = cp.head;
+    }
+}
+
+impl fmt::Display for GlobalHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ghist[{} pushes, cap {}]", self.head, self.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = GlobalHistory::new(100);
+    }
+
+    #[test]
+    fn most_recent_first_ordering() {
+        let mut h = GlobalHistory::new(64);
+        for taken in [true, true, false, true] {
+            h.push(taken);
+        }
+        assert!(h.bit(0));
+        assert!(!h.bit(1));
+        assert!(h.bit(2));
+        assert!(h.bit(3));
+        assert!(!h.bit(4), "pre-history reads as not-taken");
+    }
+
+    #[test]
+    fn low_bits_packs_msb_oldest() {
+        let mut h = GlobalHistory::new(64);
+        h.push(true); // age 2
+        h.push(false); // age 1
+        h.push(true); // age 0
+        assert_eq!(h.low_bits(3), 0b101);
+        assert_eq!(h.low_bits(0), 0);
+    }
+
+    #[test]
+    fn wraps_and_forgets_old_bits() {
+        let mut h = GlobalHistory::new(64);
+        for _ in 0..64 {
+            h.push(true);
+        }
+        for _ in 0..64 {
+            h.push(false);
+        }
+        assert!(!h.bit(0));
+        assert!(!h.bit(63));
+        // Older than capacity: unreadable, defined as false.
+        assert!(!h.bit(64));
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_speculation() {
+        let mut h = GlobalHistory::new(128);
+        for i in 0..20 {
+            h.push(i % 3 == 0);
+        }
+        let before: Vec<bool> = (0..20).map(|i| h.bit(i)).collect();
+        let cp = h.checkpoint();
+        for _ in 0..40 {
+            h.push(true); // wrong path
+        }
+        h.restore(cp);
+        let after: Vec<bool> = (0..20).map(|i| h.bit(i)).collect();
+        assert_eq!(before, after);
+        assert_eq!(h.pushes(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn restore_rejects_future_checkpoint() {
+        let mut h = GlobalHistory::new(64);
+        h.push(true);
+        let cp = h.checkpoint();
+        let mut h2 = GlobalHistory::new(64);
+        h2.restore(cp);
+    }
+
+    #[test]
+    fn checkpoint_cost_is_logarithmic() {
+        assert_eq!(GlobalHistoryCheckpoint::cost_bits(2048), 11);
+        assert_eq!(GlobalHistoryCheckpoint::cost_bits(64), 6);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let h = GlobalHistory::new(64);
+        assert!(format!("{h}").contains("cap 64"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-branch (local) direction histories.
+
+/// A table of per-static-branch direction histories.
+///
+/// Each entry holds the last `width` outcomes of the branches that map to
+/// it (newest outcome in bit 0). This is the structure whose *speculative*
+/// management the paper argues is prohibitively complex in hardware
+/// (§2.3.2): distinct in-flight occurrences of the same static branch need
+/// an associative search over the instruction window. The trace-driven
+/// simulator updates it at "commit" (immediately), which is the standard
+/// CBP idealization.
+///
+/// ```
+/// use bp_history::LocalHistoryTable;
+/// let mut t = LocalHistoryTable::new(256, 10);
+/// t.update(0x4000, true);
+/// t.update(0x4000, false);
+/// assert_eq!(t.history(0x4000), 0b10); // newest outcome in bit 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalHistoryTable {
+    entries: Vec<u32>,
+    mask: u64,
+    width: u8,
+}
+
+impl LocalHistoryTable {
+    /// Creates a table of `entries` local histories of `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, or `width` is 0 or
+    /// greater than 32.
+    pub fn new(entries: usize, width: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entry count must be a power of two"
+        );
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        LocalHistoryTable {
+            entries: vec![0; entries],
+            mask: entries as u64 - 1,
+            width: width as u8,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the table has no entries (never: the
+    /// constructor enforces a positive power of two).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// History width in bits.
+    pub fn width(&self) -> usize {
+        usize::from(self.width)
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        // Drop alignment bits; XOR-fold some higher bits for dispersion.
+        (((pc >> 2) ^ (pc >> 14)) & self.mask) as usize
+    }
+
+    /// The local history for `pc` (newest outcome in bit 0).
+    #[inline]
+    pub fn history(&self, pc: u64) -> u32 {
+        self.entries[self.index(pc)]
+    }
+
+    /// Shifts `taken` into the history for `pc`.
+    #[inline]
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let mask = ((1u64 << self.width) - 1) as u32;
+        self.entries[idx] = ((self.entries[idx] << 1) | u32::from(taken)) & mask;
+    }
+
+    /// Storage cost in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * u64::from(self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histories_are_per_entry() {
+        let mut t = LocalHistoryTable::new(64, 8);
+        t.update(0x100, true);
+        t.update(0x2040, false); // different entry
+        assert_eq!(t.history(0x100) & 1, 1);
+    }
+
+    #[test]
+    fn width_masks_history() {
+        let mut t = LocalHistoryTable::new(16, 4);
+        for _ in 0..10 {
+            t.update(0x8, true);
+        }
+        assert_eq!(t.history(0x8), 0b1111);
+        assert_eq!(t.width(), 4);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = LocalHistoryTable::new(256, 24);
+        assert_eq!(t.storage_bits(), 256 * 24);
+        assert_eq!(t.len(), 256);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_entries() {
+        let _ = LocalHistoryTable::new(100, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_zero_width() {
+        let _ = LocalHistoryTable::new(64, 0);
+    }
+
+    #[test]
+    fn full_width_is_supported() {
+        let mut t = LocalHistoryTable::new(2, 32);
+        for _ in 0..40 {
+            t.update(0, true);
+        }
+        assert_eq!(t.history(0), u32::MAX);
+    }
+}

@@ -1,0 +1,277 @@
+//! Bundled history state: global + folded + path, kept consistent.
+
+use crate::folded::FoldedHistory;
+use crate::global::{GlobalHistory, GlobalHistoryCheckpoint};
+use crate::path::PathHistory;
+
+/// Identifier of a fold registered with [`HistoryState::add_fold`].
+pub type FoldId = usize;
+
+/// A consistent bundle of global direction history, any number of folded
+/// views of it, and a path history.
+///
+/// TAGE-style predictors need, per tagged table, one fold for the index
+/// and two for the tag, all over different segment lengths of the *same*
+/// global history. `HistoryState` owns the global buffer and updates every
+/// registered fold in O(1) per branch, including feeding each fold its own
+/// evicted bit.
+///
+/// ```
+/// use bp_history::HistoryState;
+/// let mut hs = HistoryState::new(1024, 16);
+/// let idx_fold = hs.add_fold(100, 10);
+/// hs.push(true, 0x400);
+/// assert_eq!(hs.fold(idx_fold) & 1, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryState {
+    global: GlobalHistory,
+    folds: Vec<FoldedHistory>,
+    path: PathHistory,
+}
+
+/// Checkpoint of a [`HistoryState`]: the global head pointer plus the
+/// folded values and path register.
+///
+/// In hardware the folds are recomputed or checkpointed alongside the
+/// fetch state; their total size (a few hundred bits for a full TAGE) is
+/// reported by [`HistoryCheckpoint::cost_bits`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryCheckpoint {
+    global: GlobalHistoryCheckpoint,
+    folds: Vec<u32>,
+    path: u64,
+}
+
+impl HistoryCheckpoint {
+    /// Number of state bits a hardware checkpoint of this content would
+    /// occupy (global head pointer + every fold + path register).
+    pub fn cost_bits(&self, state: &HistoryState) -> u64 {
+        let mut bits = u64::from(GlobalHistoryCheckpoint::cost_bits(state.global.capacity()));
+        for f in &state.folds {
+            bits += f.compressed_len() as u64;
+        }
+        bits += state.path.len() as u64;
+        bits
+    }
+}
+
+impl HistoryState {
+    /// Creates a history bundle with a global buffer of `capacity`
+    /// outcomes and a `path_len`-bit path register.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GlobalHistory::new`] and
+    /// [`PathHistory::new`].
+    pub fn new(capacity: usize, path_len: usize) -> Self {
+        HistoryState {
+            global: GlobalHistory::new(capacity),
+            folds: Vec::new(),
+            path: PathHistory::new(path_len),
+        }
+    }
+
+    /// Registers a fold of the `original_len` most recent outcomes into
+    /// `compressed_len` bits; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original_len` exceeds the global capacity (the evicted
+    /// bit would be unreadable) or under [`FoldedHistory::new`]'s
+    /// conditions.
+    pub fn add_fold(&mut self, original_len: usize, compressed_len: usize) -> FoldId {
+        assert!(
+            original_len < self.global.capacity(),
+            "fold segment ({original_len}) must be shorter than the global capacity ({})",
+            self.global.capacity()
+        );
+        self.folds
+            .push(FoldedHistory::new(original_len, compressed_len));
+        self.folds.len() - 1
+    }
+
+    /// Pushes a branch outcome and its PC, updating the global history,
+    /// every fold, and the path register.
+    pub fn push(&mut self, taken: bool, pc: u64) {
+        for f in &mut self.folds {
+            let evicted = self.global.bit(f.original_len() - 1);
+            f.update(taken, evicted);
+        }
+        self.global.push(taken);
+        self.path.push(pc);
+    }
+
+    /// Pushes only path information (used for non-conditional branches,
+    /// which shift the path but not the direction history).
+    pub fn push_path_only(&mut self, pc: u64) {
+        self.path.push(pc);
+    }
+
+    /// The current value of fold `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`HistoryState::add_fold`].
+    #[inline]
+    pub fn fold(&self, id: FoldId) -> u32 {
+        self.folds[id].value()
+    }
+
+    /// Direct access to the global history.
+    pub fn global(&self) -> &GlobalHistory {
+        &self.global
+    }
+
+    /// The packed path history.
+    #[inline]
+    pub fn path(&self) -> u64 {
+        self.path.value()
+    }
+
+    /// Number of registered folds.
+    pub fn fold_count(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Takes a checkpoint of the entire bundle.
+    pub fn checkpoint(&self) -> HistoryCheckpoint {
+        HistoryCheckpoint {
+            global: self.global.checkpoint(),
+            folds: self.folds.iter().map(FoldedHistory::value).collect(),
+            path: self.path.value(),
+        }
+    }
+
+    /// Restores a checkpoint taken earlier on this bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not match this bundle's fold layout
+    /// or violates [`GlobalHistory::restore`]'s conditions.
+    pub fn restore(&mut self, cp: &HistoryCheckpoint) {
+        assert_eq!(
+            cp.folds.len(),
+            self.folds.len(),
+            "checkpoint fold layout mismatch"
+        );
+        self.global.restore(cp.global);
+        for (f, &v) in self.folds.iter_mut().zip(&cp.folds) {
+            f.set_value(v);
+        }
+        self.path.set_value(cp.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn drive(hs: &mut HistoryState, stream: &[(bool, u64)]) {
+        for &(taken, pc) in stream {
+            hs.push(taken, pc);
+        }
+    }
+
+    #[test]
+    fn folds_track_global_history() {
+        let mut hs = HistoryState::new(256, 16);
+        let f = hs.add_fold(8, 8);
+        for taken in [true, false, true, true] {
+            hs.push(taken, 0x40);
+        }
+        // With olen == clen the fold equals the plain history bits.
+        assert_eq!(hs.fold(f) as u64, hs.global().low_bits(8));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let mut hs = HistoryState::new(256, 20);
+        let f1 = hs.add_fold(60, 11);
+        let f2 = hs.add_fold(13, 7);
+        drive(
+            &mut hs,
+            &[(true, 0x10), (false, 0x20), (true, 0x32), (true, 0x44)],
+        );
+        let cp = hs.checkpoint();
+        let (v1, v2, p) = (hs.fold(f1), hs.fold(f2), hs.path());
+        drive(&mut hs, &[(false, 0x66), (false, 0x68), (true, 0x6a)]);
+        hs.restore(&cp);
+        assert_eq!(hs.fold(f1), v1);
+        assert_eq!(hs.fold(f2), v2);
+        assert_eq!(hs.path(), p);
+        assert_eq!(hs.fold_count(), 2);
+    }
+
+    #[test]
+    fn checkpoint_cost_accounts_all_parts() {
+        let mut hs = HistoryState::new(2048, 27);
+        hs.add_fold(100, 12);
+        hs.add_fold(100, 10);
+        let cp = hs.checkpoint();
+        // 11 (head) + 12 + 10 + 27 (path)
+        assert_eq!(cp.cost_bits(&hs), 11 + 12 + 10 + 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the global capacity")]
+    fn rejects_fold_longer_than_buffer() {
+        let mut hs = HistoryState::new(64, 8);
+        hs.add_fold(64, 8);
+    }
+
+    #[test]
+    fn path_only_pushes_do_not_touch_direction() {
+        let mut hs = HistoryState::new(64, 8);
+        let f = hs.add_fold(4, 4);
+        hs.push(true, 0x2);
+        let fold_before = hs.fold(f);
+        let path_before = hs.path();
+        hs.push_path_only(0x2);
+        assert_eq!(hs.fold(f), fold_before);
+        assert_ne!(hs.path(), path_before);
+    }
+
+    proptest! {
+        /// After any stream, every fold equals its from-scratch naive
+        /// recomputation over the global buffer.
+        #[test]
+        fn folds_always_match_naive(
+            stream in proptest::collection::vec((any::<bool>(), 0u64..1024), 1..200),
+            olen in 1usize..60,
+            clen in 1usize..14,
+        ) {
+            let mut hs = HistoryState::new(256, 16);
+            let f = hs.add_fold(olen, clen);
+            for &(taken, pc) in &stream {
+                hs.push(taken, pc);
+            }
+            let global = hs.global().clone();
+            let naive = FoldedHistory::new(olen, clen)
+                .fold_naive(|age| global.bit(age));
+            prop_assert_eq!(hs.fold(f), naive);
+        }
+
+        /// Restoring a checkpoint after arbitrary wrong-path pushes
+        /// reproduces the pre-speculation state exactly.
+        #[test]
+        fn speculation_repair_is_exact(
+            good in proptest::collection::vec((any::<bool>(), 0u64..1024), 1..100),
+            wrong in proptest::collection::vec((any::<bool>(), 0u64..1024), 1..100),
+        ) {
+            let mut hs = HistoryState::new(256, 16);
+            let f = hs.add_fold(31, 9);
+            for &(t, pc) in &good {
+                hs.push(t, pc);
+            }
+            let cp = hs.checkpoint();
+            let snapshot = (hs.fold(f), hs.path(), hs.global().low_bits(31));
+            for &(t, pc) in &wrong {
+                hs.push(t, pc);
+            }
+            hs.restore(&cp);
+            prop_assert_eq!(snapshot, (hs.fold(f), hs.path(), hs.global().low_bits(31)));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The hashed perceptron predictor (Tarjan & Skadron, TACO 2005), with
+//! IMLI integration.
+//!
+//! The IMLI paper's §1 claims its components can be added to *any*
+//! neural-inspired predictor — it cites the hashed perceptron and SNAP as
+//! members of the family alongside GEHL. This crate provides that third
+//! host: a classic hashed perceptron (weight tables indexed by hashes of
+//! the PC with global-history segments, magnitude-threshold training)
+//! whose summation optionally includes the IMLI-SIC and IMLI-OH
+//! components, reusing the exact same [`imli::ImliState`] plumbing as the
+//! TAGE-GSC and GEHL hosts. The workspace's generality experiment
+//! (`exp_generality`) shows the same benchmarks benefitting on all three
+//! hosts.
+
+#![warn(missing_docs)]
+
+use bp_components::{
+    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, SignedCounterTable, SumCtx,
+};
+use bp_history::HistoryState;
+use bp_trace::BranchRecord;
+use imli::{ImliConfig, ImliState};
+
+/// Configuration of a [`HashedPerceptron`].
+#[derive(Debug, Clone)]
+pub struct PerceptronConfig {
+    /// log2 of each weight table's entry count.
+    pub log_entries: usize,
+    /// Weight width in bits.
+    pub weight_bits: usize,
+    /// Global-history segment lengths, one weight table per entry;
+    /// length 0 means a PC-only (bias) table.
+    pub segments: Vec<usize>,
+    /// Path history bits.
+    pub path_bits: usize,
+    /// IMLI components, if any.
+    pub imli: Option<ImliConfig>,
+    /// Initial / maximum adaptive training threshold.
+    pub threshold_init: i32,
+    /// Threshold ceiling.
+    pub threshold_max: i32,
+    /// Display name.
+    pub name: String,
+}
+
+impl PerceptronConfig {
+    /// A ~96 Kbit hashed perceptron: 8 tables of 2K 6-bit weights over
+    /// history segments 0..256.
+    pub fn base() -> Self {
+        PerceptronConfig {
+            log_entries: 11,
+            weight_bits: 6,
+            segments: vec![0, 4, 9, 17, 33, 64, 128, 256],
+            path_bits: 16,
+            imli: None,
+            threshold_init: 14,
+            threshold_max: 255,
+            name: "HP".to_owned(),
+        }
+    }
+
+    /// The base perceptron plus both IMLI components (the paper's "any
+    /// neural-inspired predictor" claim).
+    pub fn imli() -> Self {
+        PerceptronConfig {
+            imli: Some(ImliConfig::default()),
+            name: "HP+IMLI".to_owned(),
+            ..Self::base()
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list, out-of-range widths, or
+    /// non-increasing non-zero segments.
+    pub fn validate(&self) {
+        assert!(!self.segments.is_empty(), "need at least one table");
+        assert!(
+            (6..=16).contains(&self.log_entries),
+            "log_entries out of range"
+        );
+        assert!(
+            (2..=7).contains(&self.weight_bits),
+            "weight width out of range"
+        );
+        for w in self.segments.windows(2) {
+            assert!(w[0] < w[1], "segments must be strictly increasing");
+        }
+        if let Some(imli) = &self.imli {
+            imli.validate();
+        }
+    }
+}
+
+/// The hashed perceptron predictor. Each weight table is indexed with a
+/// hash of the PC and one *segment* of the global history; the
+/// prediction is the sign of the summed weights; training is gated by
+/// the adaptive magnitude threshold.
+pub struct HashedPerceptron {
+    config: PerceptronConfig,
+    tables: Vec<SignedCounterTable>,
+    folds: Vec<Option<usize>>,
+    history: HistoryState,
+    imli: Option<ImliState>,
+    threshold: AdaptiveThreshold,
+    lookup: Option<(SumCtx, i32)>,
+    last_pred: bool,
+}
+
+impl HashedPerceptron {
+    /// Builds a hashed perceptron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`PerceptronConfig::validate`].
+    pub fn new(config: PerceptronConfig) -> Self {
+        config.validate();
+        let max_segment = config.segments.iter().copied().max().unwrap_or(1);
+        let capacity = (max_segment + 1).next_power_of_two().max(1024);
+        let mut history = HistoryState::new(capacity, config.path_bits);
+        let folds = config
+            .segments
+            .iter()
+            .map(|&len| (len > 0).then(|| history.add_fold(len, config.log_entries)))
+            .collect();
+        let entries = 1usize << config.log_entries;
+        HashedPerceptron {
+            tables: config
+                .segments
+                .iter()
+                .map(|_| SignedCounterTable::new(entries, config.weight_bits))
+                .collect(),
+            folds,
+            history,
+            imli: config.imli.as_ref().map(ImliState::new),
+            threshold: AdaptiveThreshold::new(config.threshold_init, config.threshold_max),
+            lookup: None,
+            last_pred: false,
+            config,
+        }
+    }
+
+    /// Constructs the base configuration.
+    pub fn base() -> Self {
+        Self::new(PerceptronConfig::base())
+    }
+
+    /// Constructs the IMLI-augmented configuration.
+    pub fn with_imli() -> Self {
+        Self::new(PerceptronConfig::imli())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PerceptronConfig {
+        &self.config
+    }
+
+    /// Read-only access to the embedded IMLI state, when configured.
+    pub fn imli(&self) -> Option<&ImliState> {
+        self.imli.as_ref()
+    }
+
+    #[inline]
+    fn table_index(&self, i: usize, pc: u64) -> u64 {
+        let mut v = pc_bits(pc).wrapping_mul(0x9E37_79B9) ^ ((i as u64) << 55);
+        if let Some(fold) = self.folds[i] {
+            v ^= mix64(u64::from(self.history.fold(fold)) ^ ((i as u64) << 33));
+            v ^= self.history.path() & 0x1F;
+        }
+        v
+    }
+}
+
+impl ConditionalPredictor for HashedPerceptron {
+    fn predict(&mut self, pc: u64) -> bool {
+        let mut ctx = SumCtx {
+            pc,
+            ghist: self.history.global().low_bits(64),
+            path: self.history.path(),
+            ..SumCtx::default()
+        };
+        if let Some(imli) = &self.imli {
+            imli.fill_ctx(&mut ctx);
+        }
+        let mut sum = 0i32;
+        for i in 0..self.tables.len() {
+            sum += self.tables[i].read(self.table_index(i, pc));
+        }
+        if let Some(imli) = &self.imli {
+            sum += imli.read(&ctx);
+        }
+        self.lookup = Some((ctx, sum));
+        self.last_pred = sum >= 0;
+        self.last_pred
+    }
+
+    fn update(&mut self, record: &BranchRecord) {
+        let (ctx, sum) = self.lookup.take().expect("update without pending predict");
+        let taken = record.taken;
+        let mispredicted = self.last_pred != taken;
+        let sum_abs = sum.abs();
+        if self.threshold.should_update(sum_abs, mispredicted) {
+            for i in 0..self.tables.len() {
+                let idx = self.table_index(i, record.pc);
+                self.tables[i].train(idx, taken);
+            }
+            if let Some(imli) = &mut self.imli {
+                imli.train(&ctx, taken);
+            }
+        }
+        self.threshold.adapt(sum_abs, mispredicted);
+        if let Some(imli) = &mut self.imli {
+            imli.observe(record);
+        }
+        self.history.push(taken, record.pc);
+    }
+
+    fn notify_nonconditional(&mut self, record: &BranchRecord) {
+        if let Some(imli) = &mut self.imli {
+            imli.observe(record);
+        }
+        self.history.push_path_only(record.pc);
+    }
+
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let tables: u64 = self
+            .tables
+            .iter()
+            .map(SignedCounterTable::storage_bits)
+            .sum();
+        tables + self.imli.as_ref().map_or(0, ImliState::storage_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut HashedPerceptron, pc: u64, taken: bool) -> bool {
+        let pred = p.predict(pc);
+        p.update(&BranchRecord::conditional(pc, pc + 0x40, taken));
+        pred
+    }
+
+    #[test]
+    fn learns_biased_and_periodic_branches() {
+        let mut p = HashedPerceptron::base();
+        let mut correct = 0u32;
+        for i in 0..6000u32 {
+            let taken = i % 7 < 3;
+            if drive(&mut p, 0x400, taken) == taken && i > 3000 {
+                correct += 1;
+            }
+        }
+        let acc = f64::from(correct) / 3000.0;
+        assert!(acc > 0.95, "period-7 accuracy {acc:.3}");
+    }
+
+    #[test]
+    fn imli_variant_fixes_same_iteration_nest() {
+        // The same regime as the GEHL test: per-iteration pattern with
+        // drift, variable trips, noisy body.
+        let run = |mut p: HashedPerceptron| -> f64 {
+            let body = 0x4008u64;
+            let noise_pc = 0x400cu64;
+            let back_pc = 0x4010u64;
+            let mut rng = 0xFEEDu64;
+            let mut step = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let mut pattern: Vec<bool> = (0..32).map(|_| step() & 1 == 1).collect();
+            let mut correct = 0u64;
+            let mut total = 0u64;
+            for n in 0..500u64 {
+                let trips = 8 + (step() % 24) as u32;
+                for m in 0..trips {
+                    let taken = pattern[m as usize];
+                    let pred = p.predict(body);
+                    if n > 150 {
+                        total += 1;
+                        correct += u64::from(pred == taken);
+                    }
+                    p.update(&BranchRecord::conditional(body, body + 0x40, taken));
+                    let noise = step() & 1 == 1;
+                    let _ = p.predict(noise_pc);
+                    p.update(&BranchRecord::conditional(noise_pc, noise_pc + 0x40, noise));
+                    let _ = p.predict(back_pc);
+                    p.update(&BranchRecord::conditional(back_pc, 0x4000, m + 1 < trips));
+                }
+                let flip = (step() % 32) as usize;
+                pattern[flip] = !pattern[flip];
+            }
+            correct as f64 / total as f64
+        };
+        let base = run(HashedPerceptron::base());
+        let with_imli = run(HashedPerceptron::with_imli());
+        assert!(
+            with_imli > base + 0.02,
+            "IMLI must also help the perceptron host: {with_imli:.3} vs {base:.3}"
+        );
+        assert!(with_imli > 0.85, "HP+IMLI accuracy {with_imli:.3}");
+    }
+
+    #[test]
+    fn storage_and_names() {
+        let base = HashedPerceptron::base();
+        let with_imli = HashedPerceptron::with_imli();
+        assert_eq!(base.name(), "HP");
+        assert_eq!(with_imli.name(), "HP+IMLI");
+        assert_eq!(base.storage_bits(), 8 * 2048 * 6);
+        assert_eq!(
+            with_imli.storage_bits() - base.storage_bits(),
+            10 + 3072 + 1536 + 1024 + 16
+        );
+        assert!(base.imli().is_none() && with_imli.imli().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "update without pending predict")]
+    fn update_requires_predict() {
+        let mut p = HashedPerceptron::base();
+        p.update(&BranchRecord::conditional(0x40, 0x80, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_segments() {
+        let _ = HashedPerceptron::new(PerceptronConfig {
+            segments: vec![0, 8, 4],
+            ..PerceptronConfig::base()
+        });
+    }
+
+    #[test]
+    fn nonconditional_notifications_are_safe() {
+        let mut p = HashedPerceptron::with_imli();
+        p.notify_nonconditional(&BranchRecord::ret(0x10, 0x20));
+        let _ = p.predict(0x44);
+        p.update(&BranchRecord::conditional(0x44, 0x20, true));
+    }
+}

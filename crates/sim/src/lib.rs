@@ -1,0 +1,34 @@
+//! Trace-driven branch prediction simulation.
+//!
+//! This crate drives any [`bp_components::ConditionalPredictor`] over
+//! [`bp_trace::Trace`]s with the CBP protocol the paper's evaluation uses
+//! (immediate update, §3) and reports **MPKI** — mispredictions per kilo
+//! instruction, the paper's accuracy metric.
+//!
+//! * [`simulate`] / [`Mpki`] — single benchmark runs;
+//! * [`run_suite`] / [`SuiteResult`] — whole-suite runs (parallelized
+//!   across benchmarks) and suite-vs-suite comparisons;
+//! * [`registry`] — every named predictor configuration of the paper's
+//!   evaluation, constructible by string name;
+//! * [`speculative_imli_fidelity`] — the speculation-repair harness
+//!   behind the paper's §4.2.1/§4.3.2 complexity argument;
+//! * [`MispredictionProfile`] — per-static-branch misprediction
+//!   attribution (the paper's "few hard branches dominate" analysis);
+//! * [`TextTable`] — fixed-width table rendering for the experiment
+//!   binaries that regenerate the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod registry;
+mod run;
+mod speculative;
+mod suite;
+mod table;
+
+pub use analysis::{learning_curve, BranchProfile, MispredictionProfile};
+pub use registry::{make_predictor, registry, PredictorFactory};
+pub use run::{simulate, Mpki, SimResult};
+pub use speculative::{speculative_imli_fidelity, SpeculationReport};
+pub use suite::{run_suite, SuiteComparison, SuiteResult};
+pub use table::TextTable;

@@ -1,0 +1,133 @@
+//! The named-predictor registry: every configuration of the paper's
+//! evaluation, constructible by string name.
+
+use bp_components::{Bimodal, ConditionalPredictor, GShare};
+use bp_gehl::Gehl;
+use bp_perceptron::HashedPerceptron;
+use bp_tage::TageSc;
+use bp_wormhole::WormholeAugmented;
+
+/// A factory producing fresh predictor instances.
+pub type PredictorFactory = fn() -> Box<dyn ConditionalPredictor + Send>;
+
+/// The registry of named predictor configurations.
+///
+/// | name | paper reference |
+/// |---|---|
+/// | `tage-gsc` | §3.2.1 base (Table 1 "Base") |
+/// | `tage-gsc+sic` | §4.2.2 IMLI-SIC alone |
+/// | `tage-gsc+oh` | IMLI-OH alone (Figure 13 analysis) |
+/// | `tage-gsc+imli` | Table 1 "+I" |
+/// | `tage-gsc+wh` | §3.3 TAGE-GSC+WH |
+/// | `tage-gsc+sic+wh` | §4.3 WH on top of IMLI-SIC |
+/// | `tage-sc-l` | Table 1 "+L" |
+/// | `tage-sc-l+imli` | Table 1 "+I+L" / §5 record |
+/// | `gehl`, `gehl+sic`, `gehl+oh`, `gehl+imli`, `gehl+wh`, `gehl+sic+wh` | Table 2 / Figures 10-13 |
+/// | `ftl`, `ftl+imli` | Table 2 "+L" / "+I+L" |
+/// | `perceptron`, `perceptron+imli`, `perceptron+wh` | generality check: the §1 claim that IMLI plugs into any neural-inspired predictor |
+/// | `gshare`, `bimodal` | calibration baselines |
+pub fn registry() -> Vec<(&'static str, PredictorFactory)> {
+    vec![
+        ("tage-gsc", || Box::new(TageSc::tage_gsc())),
+        ("tage-gsc+sic", || Box::new(TageSc::tage_gsc_sic())),
+        ("tage-gsc+oh", || {
+            Box::new(TageSc::new(bp_tage::TageScConfig::gsc_oh_only()))
+        }),
+        ("tage-gsc+imli", || Box::new(TageSc::tage_gsc_imli())),
+        ("tage-gsc+wh", || {
+            Box::new(WormholeAugmented::new(TageSc::tage_gsc()))
+        }),
+        ("tage-gsc+sic+wh", || {
+            Box::new(WormholeAugmented::new(TageSc::tage_gsc_sic()))
+        }),
+        ("tage-gsc+loop", || {
+            Box::new(TageSc::new(bp_tage::TageScConfig::gsc_loop()))
+        }),
+        ("tage-gsc+sic+loop", || {
+            Box::new(TageSc::new(bp_tage::TageScConfig::gsc_sic_loop()))
+        }),
+        ("tage-sc-l", || Box::new(TageSc::tage_sc_l())),
+        ("tage-sc-l+imli", || Box::new(TageSc::tage_sc_l_imli())),
+        ("gehl", || Box::new(Gehl::gehl())),
+        ("gehl+sic", || Box::new(Gehl::gehl_sic())),
+        ("gehl+oh", || Box::new(Gehl::gehl_oh())),
+        ("gehl+imli", || Box::new(Gehl::gehl_imli())),
+        ("gehl+wh", || Box::new(WormholeAugmented::new(Gehl::gehl()))),
+        ("gehl+sic+wh", || {
+            Box::new(WormholeAugmented::new(Gehl::gehl_sic()))
+        }),
+        ("ftl", || Box::new(Gehl::ftl())),
+        ("ftl+imli", || Box::new(Gehl::ftl_imli())),
+        ("perceptron", || Box::new(HashedPerceptron::base())),
+        (
+            "perceptron+imli",
+            || Box::new(HashedPerceptron::with_imli()),
+        ),
+        ("perceptron+wh", || {
+            Box::new(WormholeAugmented::new(HashedPerceptron::base()))
+        }),
+        ("gshare", || Box::new(GShare::new(14, 12))),
+        ("bimodal", || Box::new(Bimodal::new(16384))),
+    ]
+}
+
+/// Constructs a fresh predictor by registry name, or `None` for unknown
+/// names.
+///
+/// ```
+/// use bp_sim::make_predictor;
+/// let p = make_predictor("tage-gsc+imli").expect("registered");
+/// assert_eq!(p.name(), "TAGE-GSC+IMLI");
+/// assert!(make_predictor("nope").is_none());
+/// ```
+pub fn make_predictor(name: &str) -> Option<Box<dyn ConditionalPredictor + Send>> {
+    registry()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_registered_predictors_construct_and_predict() {
+        for (name, factory) in registry() {
+            let mut p = factory();
+            let _ = p.predict(0x4000);
+            p.update(&bp_trace::BranchRecord::conditional(0x4000, 0x4100, true));
+            assert!(p.storage_bits() > 0 || name == "always-taken", "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = registry().into_iter().map(|(n, _)| n).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn storage_budgets_follow_the_paper_ordering() {
+        let bits = |name: &str| make_predictor(name).unwrap().storage_bits();
+        // Table 1 ordering: Base < +I < +L < +I+L.
+        assert!(bits("tage-gsc") < bits("tage-gsc+imli"));
+        assert!(bits("tage-gsc+imli") < bits("tage-sc-l"));
+        assert!(bits("tage-sc-l") < bits("tage-sc-l+imli"));
+        // Table 2 ordering.
+        assert!(bits("gehl") < bits("gehl+imli"));
+        assert!(bits("gehl+imli") < bits("ftl"));
+        assert!(bits("ftl") < bits("ftl+imli"));
+        // GEHL base is exactly 204 Kbit.
+        assert_eq!(bits("gehl"), 204 * 1024);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(make_predictor("gehl+wh").is_some());
+        assert!(make_predictor("unknown").is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Single-benchmark simulation.
+
+use bp_components::{ConditionalPredictor, PredictorStats};
+use bp_trace::Trace;
+use std::fmt;
+
+/// The result of simulating one predictor over one benchmark trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Predictor configuration name.
+    pub predictor: String,
+    /// Retired instructions in the trace.
+    pub instructions: u64,
+    /// Prediction counts.
+    pub stats: PredictorStats,
+}
+
+impl SimResult {
+    /// MPKI of this run.
+    pub fn mpki(&self) -> f64 {
+        Mpki::of(self).value()
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {:.3} MPKI ({} mispredictions / {} instructions)",
+            self.predictor,
+            self.benchmark,
+            self.mpki(),
+            self.stats.mispredicted,
+            self.instructions
+        )
+    }
+}
+
+/// Mispredictions Per Kilo Instructions — the paper's accuracy metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mpki(f64);
+
+impl Mpki {
+    /// Computes the MPKI of a simulation result.
+    ///
+    /// ```
+    /// use bp_sim::{Mpki, SimResult};
+    /// use bp_components::PredictorStats;
+    /// let mut stats = PredictorStats::default();
+    /// for i in 0..100 { stats.record(i % 10 != 0); }
+    /// let r = SimResult {
+    ///     benchmark: "b".into(),
+    ///     predictor: "p".into(),
+    ///     instructions: 5_000,
+    ///     stats,
+    /// };
+    /// assert_eq!(Mpki::of(&r).value(), 2.0);
+    /// ```
+    pub fn of(result: &SimResult) -> Mpki {
+        Mpki::from_counts(result.stats.mispredicted, result.instructions)
+    }
+
+    /// MPKI from raw counts.
+    pub fn from_counts(mispredictions: u64, instructions: u64) -> Mpki {
+        if instructions == 0 {
+            return Mpki(0.0);
+        }
+        Mpki(mispredictions as f64 * 1000.0 / instructions as f64)
+    }
+
+    /// The numeric value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Mpki {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+/// Simulates `predictor` over `trace` with the CBP protocol: predict and
+/// update every conditional branch, notify non-conditional branches.
+///
+/// The predictor is *not* reset — callers wanting cold-start behaviour
+/// construct a fresh predictor per trace (as [`crate::run_suite`] does).
+pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
+    let mut stats = PredictorStats::default();
+    for record in trace.iter() {
+        if record.is_conditional() {
+            let pred = predictor.predict(record.pc);
+            stats.record(pred == record.taken);
+            predictor.update(record);
+        } else {
+            predictor.notify_nonconditional(record);
+        }
+    }
+    SimResult {
+        benchmark: trace.name().to_owned(),
+        predictor: predictor.name().to_owned(),
+        instructions: trace.instruction_count(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_components::{AlwaysTaken, Bimodal};
+    use bp_trace::BranchRecord;
+
+    fn biased_trace(n: usize, taken: bool) -> Trace {
+        let mut t = Trace::new("biased");
+        for _ in 0..n {
+            t.push(BranchRecord::conditional(0x40, 0x80, taken).with_leading_instructions(9));
+        }
+        t
+    }
+
+    #[test]
+    fn always_taken_on_taken_trace_is_perfect() {
+        let r = simulate(&mut AlwaysTaken, &biased_trace(100, true));
+        assert_eq!(r.stats.mispredicted, 0);
+        assert_eq!(r.mpki(), 0.0);
+        assert_eq!(r.stats.predicted, 100);
+    }
+
+    #[test]
+    fn always_taken_on_not_taken_trace_is_all_wrong() {
+        let r = simulate(&mut AlwaysTaken, &biased_trace(100, false));
+        assert_eq!(r.stats.mispredicted, 100);
+        // 100 mispredictions over 1000 instructions = 100 MPKI.
+        assert_eq!(r.mpki(), 100.0);
+        assert!(format!("{r}").contains("MPKI"));
+    }
+
+    #[test]
+    fn bimodal_learns_during_simulation() {
+        let mut p = Bimodal::new(64);
+        let r = simulate(&mut p, &biased_trace(1000, false));
+        assert!(r.stats.mispredicted < 5, "only warmup mispredictions");
+    }
+
+    #[test]
+    fn dyn_predictors_are_supported() {
+        let mut boxed: Box<dyn ConditionalPredictor> = Box::new(AlwaysTaken);
+        let r = simulate(boxed.as_mut(), &biased_trace(10, true));
+        assert_eq!(r.predictor, "always-taken");
+    }
+
+    #[test]
+    fn nonconditionals_do_not_count() {
+        let mut t = biased_trace(10, true);
+        t.push(BranchRecord::call(0x100, 0x1000));
+        t.push(BranchRecord::ret(0x1008, 0x104));
+        let r = simulate(&mut AlwaysTaken, &t);
+        assert_eq!(r.stats.predicted, 10);
+    }
+
+    #[test]
+    fn mpki_handles_empty() {
+        assert_eq!(Mpki::from_counts(5, 0).value(), 0.0);
+        assert_eq!(format!("{}", Mpki::from_counts(1, 1000)), "1.000");
+    }
+}

@@ -1,0 +1,531 @@
+//! The TAGE predictor (Seznec & Michaud 2006; Seznec 2011).
+
+use bp_components::{fold_u64, pc_bits, BimodalTable, SaturatingCounter};
+use bp_history::HistoryState;
+
+/// Geometry of a [`Tage`] predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 of the bimodal base table entries.
+    pub base_log_entries: usize,
+    /// log2 of each tagged table's entry count.
+    pub tagged_log_entries: usize,
+    /// Tag width per tagged table (also fixes the table count).
+    pub tag_bits: Vec<usize>,
+    /// Shortest and longest history lengths of the geometric series.
+    pub min_history: usize,
+    /// Longest history length.
+    pub max_history: usize,
+    /// Width of the prediction counters in tagged entries.
+    pub counter_bits: usize,
+    /// Width of the usefulness counters.
+    pub useful_bits: usize,
+    /// Path history bits mixed into indices.
+    pub path_bits: usize,
+    /// Period (in updates) of the graceful usefulness reset.
+    pub reset_period: u64,
+}
+
+impl Default for TageConfig {
+    /// A ~208 Kbit TAGE comparable to the TAGE part of the paper's
+    /// 228 Kbit TAGE-GSC: 12 tagged tables of 1K entries, geometric
+    /// history lengths 4→640, 8-15 bit tags, 8K-entry shared-hysteresis
+    /// bimodal base.
+    fn default() -> Self {
+        TageConfig {
+            base_log_entries: 13,
+            tagged_log_entries: 10,
+            tag_bits: vec![8, 8, 9, 10, 10, 11, 11, 12, 12, 13, 14, 15],
+            min_history: 4,
+            max_history: 640,
+            counter_bits: 3,
+            useful_bits: 2,
+            path_bits: 16,
+            reset_period: 1 << 18,
+        }
+    }
+}
+
+impl TageConfig {
+    /// Number of tagged tables.
+    pub fn num_tables(&self) -> usize {
+        self.tag_bits.len()
+    }
+
+    /// The geometric history length of tagged table `i`
+    /// (`L(i) = min * (max/min)^(i/(n-1))`, the TAGE series).
+    pub fn history_length(&self, i: usize) -> usize {
+        let n = self.num_tables();
+        if n == 1 {
+            return self.max_history;
+        }
+        let ratio =
+            (self.max_history as f64 / self.min_history as f64).powf(i as f64 / (n as f64 - 1.0));
+        ((self.min_history as f64 * ratio) + 0.5) as usize
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty table list, non-increasing history bounds, or
+    /// out-of-range widths.
+    pub fn validate(&self) {
+        assert!(!self.tag_bits.is_empty(), "at least one tagged table");
+        assert!(
+            self.min_history >= 1 && self.max_history > self.min_history,
+            "history bounds must be increasing"
+        );
+        assert!(
+            self.tag_bits.iter().all(|&t| (4..=16).contains(&t)),
+            "tag widths must be in 4..=16"
+        );
+        assert!(
+            (2..=5).contains(&self.counter_bits) && (1..=4).contains(&self.useful_bits),
+            "counter widths out of range"
+        );
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaggedEntry {
+    ctr: SaturatingCounter,
+    tag: u16,
+    useful: u8,
+}
+
+/// The result of a TAGE lookup, cached between `predict` and `update`.
+#[derive(Debug, Clone)]
+pub struct TageLookup {
+    /// Per-table computed indices.
+    indices: Vec<usize>,
+    /// Per-table computed tags.
+    tags: Vec<u16>,
+    /// The matching table providing the prediction (`None` = bimodal).
+    provider: Option<usize>,
+    /// The alternate provider (next longest match; `None` = bimodal).
+    alt: Option<usize>,
+    /// Prediction of the provider component.
+    provider_pred: bool,
+    /// Prediction of the alternate component.
+    alt_pred: bool,
+    /// The final TAGE prediction.
+    pub pred: bool,
+    /// True when the provider counter is in a weak state — the confidence
+    /// signal exported to the statistical corrector.
+    pub low_confidence: bool,
+    /// True when the provider entry looks newly allocated.
+    weak_newalloc: bool,
+}
+
+/// The TAGE predictor: a bimodal base plus `N` partially tagged tables
+/// indexed with geometrically increasing global-history folds; the
+/// longest history match provides the prediction (PPM-like prediction by
+/// partial matching).
+///
+/// This implementation follows the 2011 "new case for TAGE" update
+/// policy: alt-on-newly-allocated tracking, usefulness counters with
+/// graceful periodic reset, and single-entry allocation on misprediction
+/// with deterministic pseudo-random table choice.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    config: TageConfig,
+    base: BimodalTable,
+    tables: Vec<Vec<TaggedEntry>>,
+    history: HistoryState,
+    index_folds: Vec<usize>,
+    tag_folds: Vec<(usize, usize)>,
+    use_alt_on_na: SaturatingCounter,
+    tick: u64,
+    reset_msb: bool,
+    alloc_seed: u64,
+    lookup: Option<TageLookup>,
+}
+
+impl Tage {
+    /// Builds a TAGE predictor from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TageConfig::validate`].
+    pub fn new(config: TageConfig) -> Self {
+        config.validate();
+        let capacity = (config.max_history + 1).next_power_of_two().max(2048);
+        let mut history = HistoryState::new(capacity, config.path_bits);
+        let mut index_folds = Vec::new();
+        let mut tag_folds = Vec::new();
+        for i in 0..config.num_tables() {
+            let hlen = config.history_length(i);
+            index_folds.push(history.add_fold(hlen, config.tagged_log_entries));
+            let tw = config.tag_bits[i];
+            tag_folds.push((history.add_fold(hlen, tw), history.add_fold(hlen, tw - 1)));
+        }
+        let entry = TaggedEntry {
+            ctr: SaturatingCounter::new(config.counter_bits),
+            tag: 0,
+            useful: 0,
+        };
+        Tage {
+            base: BimodalTable::new(1 << config.base_log_entries),
+            tables: vec![vec![entry; 1 << config.tagged_log_entries]; config.num_tables()],
+            history,
+            index_folds,
+            tag_folds,
+            use_alt_on_na: SaturatingCounter::new(4),
+            tick: 0,
+            reset_msb: true,
+            alloc_seed: 0x9E37_79B9_7F4A_7C15,
+            lookup: None,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TageConfig {
+        &self.config
+    }
+
+    /// Access to the shared history state (the composed predictor reads
+    /// global/path history from here for its corrector components).
+    pub fn history(&self) -> &HistoryState {
+        &self.history
+    }
+
+    #[inline]
+    fn table_index(&self, pc: u64, i: usize) -> usize {
+        let log = self.config.tagged_log_entries;
+        let hlen = self.config.history_length(i);
+        let path = self.history.path() & ((1 << hlen.min(self.config.path_bits)) - 1);
+        let v = pc_bits(pc)
+            ^ (pc_bits(pc) >> (log as u64 - (i as u64 % log as u64)))
+            ^ u64::from(self.history.fold(self.index_folds[i]))
+            ^ fold_u64(path.max(1), log.min(16));
+        (v & ((1 << log) - 1)) as usize
+    }
+
+    #[inline]
+    fn table_tag(&self, pc: u64, i: usize) -> u16 {
+        let tw = self.config.tag_bits[i];
+        let (f1, f2) = self.tag_folds[i];
+        let v = pc_bits(pc)
+            ^ u64::from(self.history.fold(f1))
+            ^ (u64::from(self.history.fold(f2)) << 1);
+        (v & ((1 << tw) - 1)) as u16
+    }
+
+    /// Performs the TAGE lookup for `pc` and returns the lookup record
+    /// (also cached internally for the subsequent [`Tage::update`]).
+    pub fn lookup(&mut self, pc: u64) -> TageLookup {
+        let n = self.config.num_tables();
+        let mut indices = Vec::with_capacity(n);
+        let mut tags = Vec::with_capacity(n);
+        for i in 0..n {
+            indices.push(self.table_index(pc, i));
+            tags.push(self.table_tag(pc, i));
+        }
+        let mut provider = None;
+        let mut alt = None;
+        for i in (0..n).rev() {
+            if self.tables[i][indices[i]].tag == tags[i] {
+                if provider.is_none() {
+                    provider = Some(i);
+                } else {
+                    alt = Some(i);
+                    break;
+                }
+            }
+        }
+        let base_pred = self.base.predict(pc);
+        let alt_pred = alt.map_or(base_pred, |i| self.tables[i][indices[i]].ctr.is_taken());
+        let (provider_pred, weak_newalloc, low_confidence) = match provider {
+            Some(i) => {
+                let e = &self.tables[i][indices[i]];
+                let weak = e.ctr.confidence() == 0;
+                (e.ctr.is_taken(), weak && e.useful == 0, weak)
+            }
+            None => (base_pred, false, false),
+        };
+        // Newly allocated entries are statistically less accurate than
+        // the alternate prediction; use_alt_on_na adapts the choice.
+        let pred = if provider.is_some() && weak_newalloc && self.use_alt_on_na.is_taken() {
+            alt_pred
+        } else {
+            provider_pred
+        };
+        let lookup = TageLookup {
+            indices,
+            tags,
+            provider,
+            alt,
+            provider_pred,
+            alt_pred,
+            pred,
+            low_confidence,
+            weak_newalloc,
+        };
+        self.lookup = Some(lookup.clone());
+        lookup
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: deterministic allocation tie-breaking, as the CBP
+        // reference implementations do with a small LFSR.
+        let mut x = self.alloc_seed;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.alloc_seed = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Trains TAGE with the resolved outcome. Must follow a
+    /// [`Tage::lookup`] for the same branch. Does **not** push history
+    /// (the composed predictor owns history updates so that corrector
+    /// components see a consistent view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no lookup is pending.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let lookup = self.lookup.take().expect("update without pending lookup");
+        let mispredicted = lookup.pred != taken;
+
+        // Allocation: on a misprediction, try to allocate one entry in a
+        // table with longer history than the provider.
+        let n = self.config.num_tables();
+        let start = lookup.provider.map_or(0, |p| p + 1);
+        if mispredicted && start < n {
+            // Pseudo-randomly skip up to 2 candidate tables so that
+            // allocations spread across history lengths.
+            let skip = (self.next_rand() & 3).min(2) as usize;
+            let mut allocated = false;
+            let mut skipped = 0;
+            for i in start..n {
+                let e = &mut self.tables[i][lookup.indices[i]];
+                if e.useful == 0 {
+                    if skipped < skip {
+                        skipped += 1;
+                        continue;
+                    }
+                    e.tag = lookup.tags[i];
+                    e.ctr = SaturatingCounter::new_weak(self.config.counter_bits, taken);
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                // All candidates useful: age them so the branch can
+                // allocate next time.
+                for i in start..n {
+                    let e = &mut self.tables[i][lookup.indices[i]];
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+
+        // use_alt_on_na adaptation: when the provider was a weak new
+        // allocation and provider/alt disagree, learn which was right.
+        if let Some(p) = lookup.provider {
+            if lookup.weak_newalloc && lookup.provider_pred != lookup.alt_pred {
+                self.use_alt_on_na.train(lookup.alt_pred == taken);
+            }
+
+            // Train the provider.
+            let e = &mut self.tables[p][lookup.indices[p]];
+            e.ctr.train(taken);
+
+            // Usefulness: provider differed from alt and was right.
+            if lookup.provider_pred != lookup.alt_pred {
+                let u_max = (1u8 << self.config.useful_bits) - 1;
+                if lookup.provider_pred == taken {
+                    e.useful = (e.useful + 1).min(u_max);
+                } else {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+
+            // When the provider is a weak new allocation, also train the
+            // alternate so it does not decay into uselessness.
+            if lookup.weak_newalloc {
+                match lookup.alt {
+                    Some(a) => self.tables[a][lookup.indices[a]].ctr.train(taken),
+                    None => self.base.update(pc, taken),
+                }
+            }
+        } else {
+            self.base.update(pc, taken);
+        }
+
+        // Graceful periodic reset of the usefulness bits: alternately
+        // clear the MSB and LSB halves.
+        self.tick += 1;
+        if self.tick.is_multiple_of(self.config.reset_period) {
+            let mask = if self.reset_msb {
+                !(1u8 << (self.config.useful_bits - 1))
+            } else {
+                !1u8
+            };
+            self.reset_msb = !self.reset_msb;
+            for table in &mut self.tables {
+                for e in table.iter_mut() {
+                    e.useful &= mask;
+                }
+            }
+        }
+    }
+
+    /// Pushes the resolved branch into the direction/path histories.
+    pub fn push_history(&mut self, pc: u64, taken: bool) {
+        self.history.push(taken, pc);
+    }
+
+    /// Pushes only path history (non-conditional branches).
+    pub fn push_path(&mut self, pc: u64) {
+        self.history.push_path_only(pc);
+    }
+
+    /// Total storage in bits (base + tagged tables + use-alt counter).
+    pub fn storage_bits(&self) -> u64 {
+        let mut bits = self.base.storage_bits();
+        for (i, table) in self.tables.iter().enumerate() {
+            let per_entry = (self.config.counter_bits
+                + self.config.useful_bits
+                + self.config.tag_bits[i]) as u64;
+            bits += table.len() as u64 * per_entry;
+        }
+        bits + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_branch<F: FnMut(u64) -> bool>(
+        tage: &mut Tage,
+        pc: u64,
+        n: usize,
+        mut outcome: F,
+    ) -> f64 {
+        let mut correct = 0usize;
+        let mut counted = 0usize;
+        for i in 0..n {
+            let taken = outcome(i as u64);
+            let lookup = tage.lookup(pc);
+            if i >= n / 2 {
+                counted += 1;
+                correct += usize::from(lookup.pred == taken);
+            }
+            tage.update(pc, taken);
+            tage.push_history(pc, taken);
+        }
+        correct as f64 / counted as f64
+    }
+
+    #[test]
+    fn geometric_series_endpoints() {
+        let c = TageConfig::default();
+        assert_eq!(c.history_length(0), c.min_history);
+        assert_eq!(c.history_length(c.num_tables() - 1), c.max_history);
+        // Strictly increasing.
+        for i in 1..c.num_tables() {
+            assert!(c.history_length(i) > c.history_length(i - 1));
+        }
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut tage = Tage::new(TageConfig::default());
+        let acc = run_branch(&mut tage, 0x400, 500, |_| true);
+        assert!(acc > 0.99, "biased branch accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_short_periodic_pattern() {
+        let mut tage = Tage::new(TageConfig::default());
+        let acc = run_branch(&mut tage, 0x400, 4000, |i| i % 3 == 0);
+        assert!(acc > 0.95, "period-3 accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_long_periodic_pattern() {
+        // Period 24 needs a mid-length tagged table; bimodal alone fails.
+        let mut tage = Tage::new(TageConfig::default());
+        let acc = run_branch(&mut tage, 0x400, 20_000, |i| (i % 24) < 11);
+        assert!(acc > 0.9, "period-24 accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_global_correlation_between_branches() {
+        // Branch B repeats the outcome of branch A: global history nails
+        // it once A's outcome is in the history.
+        let mut tage = Tage::new(TageConfig::default());
+        let mut correct = 0;
+        let total = 4000;
+        for i in 0..total {
+            let a_out = (i % 7) < 4;
+            let la = tage.lookup(0x100);
+            let _ = la;
+            tage.update(0x100, a_out);
+            tage.push_history(0x100, a_out);
+
+            let lb = tage.lookup(0x200);
+            if i >= total / 2 {
+                correct += usize::from(lb.pred == a_out);
+            }
+            tage.update(0x200, a_out);
+            tage.push_history(0x200, a_out);
+        }
+        let acc = correct as f64 / (total / 2) as f64;
+        assert!(acc > 0.97, "correlated branch accuracy {acc}");
+    }
+
+    #[test]
+    fn random_branch_accuracy_is_chance() {
+        // A pseudo-random branch is unpredictable; TAGE must not collapse
+        // (sanity for allocation churn).
+        let mut tage = Tage::new(TageConfig::default());
+        let mut x = 0x12345u64;
+        let acc = run_branch(&mut tage, 0x400, 4000, move |_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & 1 == 1
+        });
+        assert!(acc > 0.4 && acc < 0.6, "random branch accuracy {acc}");
+    }
+
+    #[test]
+    fn storage_is_in_target_ballpark() {
+        let tage = Tage::new(TageConfig::default());
+        let kbits = tage.storage_bits() as f64 / 1024.0;
+        // TAGE part of the 228 Kbit TAGE-GSC: roughly 190-215 Kbit.
+        assert!(
+            (185.0..=220.0).contains(&kbits),
+            "TAGE storage {kbits:.1} Kbit out of ballpark"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "update without pending lookup")]
+    fn update_requires_lookup() {
+        let mut tage = Tage::new(TageConfig::default());
+        tage.update(0x40, true);
+    }
+
+    #[test]
+    fn lookup_is_deterministic() {
+        let mut a = Tage::new(TageConfig::default());
+        let mut b = Tage::new(TageConfig::default());
+        for i in 0..200u64 {
+            let pc = 0x1000 + (i % 5) * 8;
+            let taken = i % 3 != 0;
+            assert_eq!(a.lookup(pc).pred, b.lookup(pc).pred, "diverged at {i}");
+            a.update(pc, taken);
+            b.update(pc, taken);
+            a.push_history(pc, taken);
+            b.push_history(pc, taken);
+        }
+    }
+}

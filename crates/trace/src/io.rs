@@ -1,0 +1,229 @@
+//! Compact binary (de)serialization of traces.
+//!
+//! The format is a small, versioned, little-endian layout so that generated
+//! workloads can be cached on disk and re-simulated without regeneration:
+//!
+//! ```text
+//! magic  "BPTR"            4 bytes
+//! version u32              currently 1
+//! name_len u32, name bytes
+//! record_count u64
+//! records: pc u64 | target u64 | kind u8 | taken u8 | leading u32
+//! ```
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::trace::Trace;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BPTR";
+const VERSION: u32 = 1;
+
+/// Errors produced while reading or writing a serialized trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not start with the expected magic bytes.
+    BadMagic([u8; 4]),
+    /// The stream uses an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The trace name is not valid UTF-8.
+    BadName,
+    /// A record used an unknown [`BranchKind`] code.
+    BadKind(u8),
+    /// A record's taken flag was neither 0 nor 1.
+    BadTakenFlag(u8),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o failure: {e}"),
+            TraceIoError::BadMagic(m) => write!(f, "bad trace magic {m:?}"),
+            TraceIoError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::BadName => write!(f, "trace name is not valid utf-8"),
+            TraceIoError::BadKind(c) => write!(f, "unknown branch kind code {c}"),
+            TraceIoError::BadTakenFlag(c) => write!(f, "invalid taken flag {c}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serializes `trace` to `writer` in the versioned binary format.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the underlying writer fails.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name().as_bytes();
+    writer.write_all(&(name.len() as u32).to_le_bytes())?;
+    writer.write_all(name)?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for r in trace.iter() {
+        writer.write_all(&r.pc.to_le_bytes())?;
+        writer.write_all(&r.target.to_le_bytes())?;
+        writer.write_all(&[r.kind.code(), u8::from(r.taken)])?;
+        writer.write_all(&r.leading_instructions.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a trace previously written by [`write_trace`].
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError`] if the stream is truncated, corrupt, or uses
+/// an unsupported version.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic(magic));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let name_len = read_u32(&mut reader)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    reader.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| TraceIoError::BadName)?;
+    let count = read_u64(&mut reader)? as usize;
+    let mut trace = Trace::with_capacity(name, count.min(1 << 24));
+    for _ in 0..count {
+        let pc = read_u64(&mut reader)?;
+        let target = read_u64(&mut reader)?;
+        let mut flags = [0u8; 2];
+        reader.read_exact(&mut flags)?;
+        let kind = BranchKind::from_code(flags[0]).ok_or(TraceIoError::BadKind(flags[0]))?;
+        let taken = match flags[1] {
+            0 => false,
+            1 => true,
+            other => return Err(TraceIoError::BadTakenFlag(other)),
+        };
+        let leading = read_u32(&mut reader)?;
+        trace.push(BranchRecord {
+            pc,
+            target,
+            kind,
+            taken,
+            leading_instructions: leading,
+        });
+    }
+    Ok(trace)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, TraceIoError> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, TraceIoError> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("io-sample");
+        t.push(
+            BranchRecord::conditional(0xdead_beef, 0xdead_be00, true).with_leading_instructions(7),
+        );
+        t.push(BranchRecord::ret(0x1000, 0x2000));
+        t.push(BranchRecord::indirect(0x44, 0x9988).with_leading_instructions(2));
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.name(), "io-sample");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new("");
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"XXXX\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic(_)));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new("x")).unwrap();
+        buf[4] = 99;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn corrupt_kind_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        // Kind byte of the first record sits right after header + count.
+        let kind_offset = 4 + 4 + 4 + "io-sample".len() + 8 + 16;
+        buf[kind_offset] = 200;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadKind(200)));
+    }
+
+    #[test]
+    fn corrupt_taken_flag_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        let taken_offset = 4 + 4 + 4 + "io-sample".len() + 8 + 17;
+        buf[taken_offset] = 7;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadTakenFlag(7)));
+    }
+
+    #[test]
+    fn truncated_stream_reports_io_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,36 @@
+//! Branch trace model for the IMLI reproduction.
+//!
+//! This crate defines the input format consumed by every predictor in the
+//! workspace: a stream of [`BranchRecord`]s, each describing one dynamic
+//! branch instance together with the number of non-branch instructions that
+//! retired since the previous branch. The format is deliberately close to
+//! the record layout used by the Championship Branch Prediction (CBP)
+//! frameworks, which the paper's evaluation is based on: the predictor
+//! observes the program counter, the branch kind, the taken/not-taken
+//! outcome, and the target.
+//!
+//! # Example
+//!
+//! ```
+//! use bp_trace::{BranchKind, BranchRecord, Trace};
+//!
+//! let mut trace = Trace::new("tiny");
+//! // A two-iteration loop: backward conditional taken once, then fall out.
+//! trace.push(BranchRecord::conditional(0x400, 0x3f0, true).with_leading_instructions(4));
+//! trace.push(BranchRecord::conditional(0x400, 0x3f0, false).with_leading_instructions(4));
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace.instruction_count(), 2 + 8);
+//! assert!(trace.iter().all(|r| r.is_backward()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod io;
+mod record;
+mod stats;
+mod trace;
+
+pub use io::{read_trace, write_trace, TraceIoError};
+pub use record::{BranchKind, BranchRecord};
+pub use stats::{KindCounts, TraceStats};
+pub use trace::{Trace, TraceIter};

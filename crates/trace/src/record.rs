@@ -1,0 +1,255 @@
+//! Single dynamic branch records.
+
+use std::fmt;
+
+/// Classification of a dynamic branch instance.
+///
+/// The taxonomy mirrors the CBP trace format the paper evaluates on. Only
+/// [`BranchKind::Conditional`] branches are predicted taken/not-taken; the
+/// other kinds still matter to a predictor because they shift path history
+/// and (for the IMLI mechanism) delimit loop bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchKind {
+    /// A conditional direct branch: the only kind whose direction is
+    /// predicted.
+    Conditional,
+    /// An unconditional direct jump.
+    Unconditional,
+    /// A direct function call.
+    Call,
+    /// A function return.
+    Return,
+    /// An indirect jump or indirect call.
+    Indirect,
+}
+
+impl BranchKind {
+    /// All kinds, in a stable order (used by statistics and serialization).
+    pub const ALL: [BranchKind; 5] = [
+        BranchKind::Conditional,
+        BranchKind::Unconditional,
+        BranchKind::Call,
+        BranchKind::Return,
+        BranchKind::Indirect,
+    ];
+
+    /// Returns `true` for the kinds whose direction a conditional branch
+    /// predictor must predict.
+    #[inline]
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::Conditional)
+    }
+
+    /// Stable small integer code for compact serialization.
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            BranchKind::Conditional => 0,
+            BranchKind::Unconditional => 1,
+            BranchKind::Call => 2,
+            BranchKind::Return => 3,
+            BranchKind::Indirect => 4,
+        }
+    }
+
+    /// Inverse of [`BranchKind::code`].
+    #[inline]
+    pub fn from_code(code: u8) -> Option<BranchKind> {
+        BranchKind::ALL.get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::Unconditional => "jmp",
+            BranchKind::Call => "call",
+            BranchKind::Return => "ret",
+            BranchKind::Indirect => "ind",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic branch instance in a trace.
+///
+/// `leading_instructions` counts the non-branch instructions retired since
+/// the previous record; it is what makes MPKI (mispredictions per kilo
+/// *instruction*) meaningful on a branch-only trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchRecord {
+    /// Program counter of the branch instruction.
+    pub pc: u64,
+    /// Branch target address (fall-through for not-taken conditionals is
+    /// implicitly `pc + 4`; the field always holds the *taken* target).
+    pub target: u64,
+    /// Classification of the branch.
+    pub kind: BranchKind,
+    /// Outcome: `true` when taken. Always `true` for non-conditional kinds.
+    pub taken: bool,
+    /// Number of non-branch instructions retired since the previous record.
+    pub leading_instructions: u32,
+}
+
+impl BranchRecord {
+    /// Creates a conditional branch record.
+    ///
+    /// ```
+    /// use bp_trace::BranchRecord;
+    /// let r = BranchRecord::conditional(0x100, 0x80, true);
+    /// assert!(r.is_backward());
+    /// ```
+    #[inline]
+    pub fn conditional(pc: u64, target: u64, taken: bool) -> Self {
+        BranchRecord {
+            pc,
+            target,
+            kind: BranchKind::Conditional,
+            taken,
+            leading_instructions: 0,
+        }
+    }
+
+    /// Creates an unconditional direct jump record.
+    #[inline]
+    pub fn unconditional(pc: u64, target: u64) -> Self {
+        BranchRecord {
+            pc,
+            target,
+            kind: BranchKind::Unconditional,
+            taken: true,
+            leading_instructions: 0,
+        }
+    }
+
+    /// Creates a direct call record.
+    #[inline]
+    pub fn call(pc: u64, target: u64) -> Self {
+        BranchRecord {
+            pc,
+            target,
+            kind: BranchKind::Call,
+            taken: true,
+            leading_instructions: 0,
+        }
+    }
+
+    /// Creates a return record.
+    #[inline]
+    pub fn ret(pc: u64, target: u64) -> Self {
+        BranchRecord {
+            pc,
+            target,
+            kind: BranchKind::Return,
+            taken: true,
+            leading_instructions: 0,
+        }
+    }
+
+    /// Creates an indirect jump/call record.
+    #[inline]
+    pub fn indirect(pc: u64, target: u64) -> Self {
+        BranchRecord {
+            pc,
+            target,
+            kind: BranchKind::Indirect,
+            taken: true,
+            leading_instructions: 0,
+        }
+    }
+
+    /// Sets the number of non-branch instructions preceding this branch.
+    #[inline]
+    #[must_use]
+    pub fn with_leading_instructions(mut self, n: u32) -> Self {
+        self.leading_instructions = n;
+        self
+    }
+
+    /// Returns `true` when the *taken* target lies at a lower address than
+    /// the branch itself.
+    ///
+    /// The paper's IMLI heuristic (§4.1) treats every backward conditional
+    /// branch as a loop-exit branch of the loop it closes.
+    #[inline]
+    pub fn is_backward(&self) -> bool {
+        self.target < self.pc
+    }
+
+    /// Returns `true` for conditional records.
+    #[inline]
+    pub fn is_conditional(&self) -> bool {
+        self.kind.is_conditional()
+    }
+
+    /// Total instructions this record accounts for (its leading
+    /// instructions plus the branch itself).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.leading_instructions) + 1
+    }
+}
+
+impl fmt::Display for BranchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#x} {} -> {:#x} {} (+{} insn)",
+            self.pc,
+            self.kind,
+            self.target,
+            if self.taken { "T" } else { "N" },
+            self.leading_instructions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in BranchKind::ALL {
+            assert_eq!(BranchKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(BranchKind::from_code(5), None);
+        assert_eq!(BranchKind::from_code(255), None);
+    }
+
+    #[test]
+    fn backwardness_follows_target_comparison() {
+        assert!(BranchRecord::conditional(0x100, 0xff, true).is_backward());
+        assert!(!BranchRecord::conditional(0x100, 0x100, true).is_backward());
+        assert!(!BranchRecord::conditional(0x100, 0x104, true).is_backward());
+    }
+
+    #[test]
+    fn constructors_set_kind_and_taken() {
+        assert_eq!(
+            BranchRecord::conditional(1, 2, false).kind,
+            BranchKind::Conditional
+        );
+        assert!(!BranchRecord::conditional(1, 2, false).taken);
+        assert!(BranchRecord::unconditional(1, 2).taken);
+        assert_eq!(BranchRecord::call(1, 2).kind, BranchKind::Call);
+        assert_eq!(BranchRecord::ret(1, 2).kind, BranchKind::Return);
+        assert_eq!(BranchRecord::indirect(1, 2).kind, BranchKind::Indirect);
+    }
+
+    #[test]
+    fn instruction_accounting_includes_branch() {
+        let r = BranchRecord::conditional(1, 2, true).with_leading_instructions(9);
+        assert_eq!(r.instructions(), 10);
+        let r0 = BranchRecord::conditional(1, 2, true);
+        assert_eq!(r0.instructions(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = BranchRecord::conditional(0x40, 0x20, true);
+        assert!(!format!("{r}").is_empty());
+        assert!(!format!("{:?}", BranchKind::Conditional).is_empty());
+    }
+}

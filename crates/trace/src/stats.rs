@@ -1,0 +1,171 @@
+//! Trace summary statistics.
+
+use crate::record::{BranchKind, BranchRecord};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Per-[`BranchKind`] record counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    counts: [u64; 5],
+}
+
+impl KindCounts {
+    /// Increments the count for `kind`.
+    #[inline]
+    pub fn bump(&mut self, kind: BranchKind) {
+        self.counts[kind.code() as usize] += 1;
+    }
+
+    /// Returns the count for `kind`.
+    #[inline]
+    pub fn get(&self, kind: BranchKind) -> u64 {
+        self.counts[kind.code() as usize]
+    }
+
+    /// Total records across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl fmt::Display for KindCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for kind in BranchKind::ALL {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}={}", kind, self.get(kind))?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics for a trace: sizes, mix, takenness, and static
+/// footprint. Used by the workload generators to sanity-check that the
+/// synthetic benchmarks have realistic branch behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Benchmark name the statistics were computed from.
+    pub name: String,
+    /// Dynamic record count per kind.
+    pub kind_counts: KindCounts,
+    /// Total retired instructions (branches + leading instructions).
+    pub instructions: u64,
+    /// Number of taken conditional branches.
+    pub conditional_taken: u64,
+    /// Number of backward conditional branches (loop-closing candidates).
+    pub conditional_backward: u64,
+    /// Number of distinct static conditional branch PCs.
+    pub static_conditionals: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a record slice.
+    pub fn from_records(name: &str, records: &[BranchRecord]) -> Self {
+        let mut kind_counts = KindCounts::default();
+        let mut instructions = 0u64;
+        let mut conditional_taken = 0u64;
+        let mut conditional_backward = 0u64;
+        let mut statics: HashSet<u64> = HashSet::new();
+        for r in records {
+            kind_counts.bump(r.kind);
+            instructions += r.instructions();
+            if r.is_conditional() {
+                statics.insert(r.pc);
+                if r.taken {
+                    conditional_taken += 1;
+                }
+                if r.is_backward() {
+                    conditional_backward += 1;
+                }
+            }
+        }
+        TraceStats {
+            name: name.to_owned(),
+            kind_counts,
+            instructions,
+            conditional_taken,
+            conditional_backward,
+            static_conditionals: statics.len() as u64,
+        }
+    }
+
+    /// Dynamic conditional branch count.
+    pub fn conditionals(&self) -> u64 {
+        self.kind_counts.get(BranchKind::Conditional)
+    }
+
+    /// Fraction of conditional branches that were taken, or `None` for a
+    /// trace without conditionals.
+    pub fn taken_rate(&self) -> Option<f64> {
+        let n = self.conditionals();
+        (n != 0).then(|| self.conditional_taken as f64 / n as f64)
+    }
+
+    /// Conditional branches per retired instruction, or `None` for an
+    /// empty trace.
+    pub fn branch_density(&self) -> Option<f64> {
+        (self.instructions != 0).then(|| self.conditionals() as f64 / self.instructions as f64)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} insn, kinds [{}], {} static cond, taken {:.1}%",
+            self.name,
+            self.instructions,
+            self.kind_counts,
+            self.static_conditionals,
+            self.taken_rate().unwrap_or(0.0) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = TraceStats::from_records("empty", &[]);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.taken_rate(), None);
+        assert_eq!(s.branch_density(), None);
+        assert_eq!(s.kind_counts.total(), 0);
+    }
+
+    #[test]
+    fn mixed_stats() {
+        let records = vec![
+            BranchRecord::conditional(0x10, 0x8, true).with_leading_instructions(4),
+            BranchRecord::conditional(0x10, 0x8, false).with_leading_instructions(4),
+            BranchRecord::conditional(0x20, 0x40, true).with_leading_instructions(2),
+            BranchRecord::unconditional(0x30, 0x10).with_leading_instructions(0),
+        ];
+        let s = TraceStats::from_records("m", &records);
+        assert_eq!(s.conditionals(), 3);
+        assert_eq!(s.conditional_taken, 2);
+        assert_eq!(s.conditional_backward, 2);
+        assert_eq!(s.static_conditionals, 2);
+        assert_eq!(s.instructions, 4 + 4 + 4 + 2);
+        let rate = s.taken_rate().unwrap();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.branch_density().unwrap() > 0.0);
+        assert!(format!("{s}").contains("m:"));
+    }
+
+    #[test]
+    fn kind_counts_display_lists_all_kinds() {
+        let mut k = KindCounts::default();
+        k.bump(BranchKind::Return);
+        let s = format!("{k}");
+        assert!(s.contains("ret=1"));
+        assert!(s.contains("cond=0"));
+        assert_eq!(k.total(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! In-memory trace container.
+
+use crate::record::BranchRecord;
+use crate::stats::TraceStats;
+use std::fmt;
+
+/// An in-memory branch trace: a named, ordered sequence of
+/// [`BranchRecord`]s.
+///
+/// Traces are the unit of simulation: one trace corresponds to one
+/// benchmark of the paper's 80-benchmark evaluation.
+///
+/// ```
+/// use bp_trace::{BranchRecord, Trace};
+/// let trace: Trace = std::iter::repeat(BranchRecord::conditional(0x10, 0x8, true))
+///     .take(3)
+///     .collect();
+/// assert_eq!(trace.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    records: Vec<BranchRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given benchmark name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Creates an empty trace with capacity for `n` records.
+    pub fn with_capacity(name: impl Into<String>, n: usize) -> Self {
+        Trace {
+            name: name.into(),
+            records: Vec::with_capacity(n),
+        }
+    }
+
+    /// The benchmark name (e.g. `"SPEC2K6-12"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the trace.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Appends one record.
+    #[inline]
+    pub fn push(&mut self, record: BranchRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of branch records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrow the records as a slice.
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter {
+            inner: self.records.iter(),
+        }
+    }
+
+    /// Total retired instructions represented by the trace (branches plus
+    /// leading non-branch instructions).
+    pub fn instruction_count(&self) -> u64 {
+        self.records.iter().map(BranchRecord::instructions).sum()
+    }
+
+    /// Number of conditional branch records (the denominator of
+    /// per-branch misprediction rates).
+    pub fn conditional_count(&self) -> u64 {
+        self.records.iter().filter(|r| r.is_conditional()).count() as u64
+    }
+
+    /// Computes summary statistics over the whole trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_records(&self.name, &self.records)
+    }
+
+    /// Consumes the trace and returns the underlying record vector.
+    pub fn into_records(self) -> Vec<BranchRecord> {
+        self.records
+    }
+}
+
+impl Extend<BranchRecord> for Trace {
+    fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<BranchRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = BranchRecord>>(iter: T) -> Self {
+        Trace {
+            name: String::new(),
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchRecord;
+    type IntoIter = TraceIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace {} ({} branches, {} instructions)",
+            if self.name.is_empty() {
+                "<unnamed>"
+            } else {
+                &self.name
+            },
+            self.len(),
+            self.instruction_count()
+        )
+    }
+}
+
+/// Iterator over the records of a [`Trace`], created by [`Trace::iter`].
+#[derive(Debug, Clone)]
+pub struct TraceIter<'a> {
+    inner: std::slice::Iter<'a, BranchRecord>,
+}
+
+impl<'a> Iterator for TraceIter<'a> {
+    type Item = &'a BranchRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchKind;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample");
+        t.push(BranchRecord::conditional(0x100, 0x80, true).with_leading_instructions(3));
+        t.push(BranchRecord::conditional(0x100, 0x80, false).with_leading_instructions(3));
+        t.push(BranchRecord::call(0x200, 0x1000).with_leading_instructions(1));
+        t
+    }
+
+    #[test]
+    fn counting() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.conditional_count(), 2);
+        assert_eq!(t.instruction_count(), 3 + (3 + 3 + 1));
+    }
+
+    #[test]
+    fn iteration_matches_records() {
+        let t = sample();
+        let via_iter: Vec<_> = t.iter().copied().collect();
+        assert_eq!(via_iter.as_slice(), t.records());
+        assert_eq!(t.iter().len(), 3);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = sample().into_records().into_iter().collect();
+        assert_eq!(t.len(), 3);
+        t.extend(sample().into_records());
+        assert_eq!(t.len(), 6);
+        t.set_name("renamed");
+        assert_eq!(t.name(), "renamed");
+    }
+
+    #[test]
+    fn display_mentions_name_and_counts() {
+        let t = sample();
+        let s = format!("{t}");
+        assert!(s.contains("sample"));
+        assert!(s.contains("3 branches"));
+        let empty = Trace::default();
+        assert!(format!("{empty}").contains("<unnamed>"));
+    }
+
+    #[test]
+    fn stats_round_trip_kind() {
+        let t = sample();
+        let stats = t.stats();
+        assert_eq!(stats.kind_counts.get(BranchKind::Call), 1);
+        assert_eq!(stats.kind_counts.get(BranchKind::Conditional), 2);
+    }
+}

@@ -1,0 +1,638 @@
+//! Parameterized branch-behaviour kernels.
+
+use bp_trace::{BranchRecord, Trace};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inner-loop trip count behaviour of a loop-nest kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripCount {
+    /// The same trip count on every outer iteration (the regime the
+    /// wormhole predictor requires).
+    Fixed(u32),
+    /// Uniformly random trips in `[min, max]`, redrawn per outer
+    /// iteration (defeats WH; IMLI-SIC is unaffected).
+    Variable {
+        /// Smallest trip count.
+        min: u32,
+        /// Largest trip count (inclusive).
+        max: u32,
+    },
+}
+
+impl TripCount {
+    fn draw(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            TripCount::Fixed(t) => t.max(1),
+            TripCount::Variable { min, max } => rng.gen_range(min.max(1)..=max.max(min.max(1))),
+        }
+    }
+
+    /// Largest possible trip count (pattern array sizing).
+    fn max(&self) -> u32 {
+        match *self {
+            TripCount::Fixed(t) => t.max(1),
+            TripCount::Variable { max, .. } => max.max(1),
+        }
+    }
+}
+
+/// A branch-behaviour kernel: a small synthetic program fragment that
+/// emits branch records with a chosen correlation structure.
+///
+/// Each variant documents which predictor component is expected to
+/// capture it — this mapping *is* the experiment design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelSpec {
+    /// A two-dimensional loop nest with one body branch whose outcome is
+    /// a per-inner-iteration pattern that drifts slowly across outer
+    /// iterations (`Out[N][M] ≈ Out[N-1][M]`). Captured by IMLI-SIC;
+    /// captured by WH only when `trip` is [`TripCount::Fixed`].
+    SameIteration {
+        /// Inner trip count behaviour.
+        trip: TripCount,
+        /// Per-outer-iteration probability of flipping one pattern slot.
+        drift: f64,
+        /// Number of history-polluting random branches per inner
+        /// iteration (defeats plain global history).
+        noise_branches: usize,
+    },
+    /// A two-dimensional loop nest whose body branch satisfies
+    /// `Out[N][M] = Out[N-1][M-1]` (the pattern shifts by one each outer
+    /// iteration). The WH and IMLI-OH target; IMLI-SIC cannot capture it
+    /// (every slot changes every outer iteration).
+    Diagonal {
+        /// Inner trip count (constant: the WH-comparable regime).
+        trip: u32,
+        /// Noise branches per inner iteration.
+        noise_branches: usize,
+    },
+    /// `Out[N][M] = ¬Out[N-1][M]`: the paper's MM-4 case. IMLI-OH learns
+    /// the inversion through its outcome-indexed counters; IMLI-SIC sees
+    /// a slot that flips every outer iteration and fails.
+    InvertedPrevOuter {
+        /// Inner trip count.
+        trip: u32,
+        /// Noise branches per inner iteration.
+        noise_branches: usize,
+    },
+    /// A same-iteration branch nested under a data-dependent guard, so it
+    /// does not execute on every inner iteration (the paper's B4).
+    /// IMLI-SIC captures it; WH cannot (its local history misaligns).
+    NestedConditional {
+        /// Inner trip count behaviour.
+        trip: TripCount,
+        /// Probability that the guard lets the inner branch execute.
+        guard_rate: f64,
+        /// Pattern drift as in `SameIteration`.
+        drift: f64,
+    },
+    /// Constant-trip loops exercising only the exit branch (loop
+    /// predictor / IMLI-SIC territory).
+    LoopExit {
+        /// Trip counts of the emitted loops.
+        trips: Vec<u32>,
+    },
+    /// A *long* constant-trip loop with noisy body branches: the exit
+    /// context exceeds any global history's reach, so only counting
+    /// predictors (the loop predictor, or IMLI-SIC via the iteration
+    /// index) get the exit right. This is what gives the loop predictor
+    /// its small-but-real benefit in the paper's §4.2.2 ablation.
+    LongLoop {
+        /// Trip count (typically 64-256).
+        trip: u32,
+        /// Noisy body branches per iteration.
+        noise_branches: usize,
+    },
+    /// Statically biased branches: `branches[i]` is taken with the given
+    /// probability. Any predictor captures the bias; the residual
+    /// entropy sets a floor.
+    Biased {
+        /// Taken probabilities of the static branches.
+        probabilities: Vec<f64>,
+    },
+    /// Branch `B` repeats the outcome of branch `A` from `lag` branches
+    /// earlier — pure global-history correlation, captured by TAGE/GEHL.
+    GlobalCorrelated {
+        /// Distance (in branches) between correlator and correlated.
+        lag: usize,
+    },
+    /// Per-branch periodic patterns with mutually prime periods,
+    /// randomly interleaved so global history cannot track them:
+    /// local-history component territory.
+    LocalPeriodic {
+        /// Periods of the static branches.
+        periods: Vec<u32>,
+        /// Taken slots per period.
+        duty: u32,
+    },
+    /// Near-random data-dependent branches (taken probability per branch
+    /// drawn from `[0.5 - spread, 0.5 + spread]`): the irreducible MPKI
+    /// floor of hard benchmarks.
+    Irregular {
+        /// Number of static branches.
+        branches: usize,
+        /// Half-width of the bias spread around 0.5.
+        spread: f64,
+    },
+}
+
+impl KernelSpec {
+    /// Instantiates the kernel with a dedicated PC region.
+    pub fn instantiate(&self, pc_base: u64) -> Kernel {
+        Kernel::new(self.clone(), pc_base)
+    }
+}
+
+/// Pattern state of a loop-nest kernel.
+#[derive(Debug, Clone)]
+struct NestState {
+    pattern: Vec<bool>,
+    phase: usize,
+}
+
+/// A stateful instance of a [`KernelSpec`] bound to a PC region.
+///
+/// Kernels keep their pattern/period state across invocations of
+/// [`Kernel::run`], so a benchmark can interleave kernels in phases (as a
+/// real program interleaves its loops) without resetting their learned
+/// structure.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    spec: KernelSpec,
+    pc_base: u64,
+    nest: Option<NestState>,
+    period_positions: Vec<u32>,
+    irregular_bias: Vec<f64>,
+    outcome_queue: Vec<bool>,
+}
+
+/// Instructions of non-branch work simulated inside a loop body.
+const BODY_WORK: u32 = 7;
+
+impl Kernel {
+    fn new(spec: KernelSpec, pc_base: u64) -> Self {
+        Kernel {
+            spec,
+            pc_base,
+            nest: None,
+            period_positions: Vec::new(),
+            irregular_bias: Vec::new(),
+            outcome_queue: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn pc(&self, slot: u64) -> u64 {
+        self.pc_base + slot * 8
+    }
+
+    fn nest_state(&mut self, rng: &mut StdRng, len: usize) -> &mut NestState {
+        if self.nest.is_none() {
+            self.nest = Some(NestState {
+                pattern: (0..len).map(|_| rng.gen_bool(0.5)).collect(),
+                phase: 0,
+            });
+        }
+        self.nest.as_mut().expect("just initialized")
+    }
+
+    /// Emits records into `trace` until roughly `instruction_budget`
+    /// instructions have been produced by this call.
+    pub fn run(&mut self, rng: &mut StdRng, trace: &mut Trace, instruction_budget: u64) {
+        let start = trace.instruction_count();
+        while trace.instruction_count() - start < instruction_budget {
+            self.run_once(rng, trace);
+        }
+    }
+
+    /// Emits one "round" of the kernel (one outer iteration for nests,
+    /// one sweep for flat kernels).
+    fn run_once(&mut self, rng: &mut StdRng, trace: &mut Trace) {
+        match self.spec.clone() {
+            KernelSpec::SameIteration {
+                trip,
+                drift,
+                noise_branches,
+            } => {
+                let max = trip.max() as usize;
+                let trips = trip.draw(rng);
+                let state = self.nest_state(rng, max);
+                let pattern = state.pattern.clone();
+                self.emit_nest(rng, trace, trips, noise_branches, |m, _| {
+                    pattern[m as usize]
+                });
+                if rng.gen_bool(drift) {
+                    let state = self.nest.as_mut().expect("nest initialized");
+                    let slot = rng.gen_range(0..state.pattern.len());
+                    state.pattern[slot] = !state.pattern[slot];
+                }
+            }
+            KernelSpec::Diagonal {
+                trip,
+                noise_branches,
+            } => {
+                // Out[N][M] = pattern[(phase + M) mod len] with the phase
+                // *decreasing* each outer iteration, so that
+                // Out[N][M] == Out[N-1][M-1].
+                let len = (trip as usize) * 4 + 7;
+                let state = self.nest_state(rng, len);
+                let phase = state.phase;
+                let pattern = state.pattern.clone();
+                self.emit_nest(rng, trace, trip, noise_branches, |m, _| {
+                    pattern[(phase + m as usize) % len]
+                });
+                let state = self.nest.as_mut().expect("nest initialized");
+                state.phase = (state.phase + len - 1) % len;
+                // Slow drift keeps the pattern from being one static
+                // global-history-learnable sequence.
+                if rng.gen_bool(0.05) {
+                    let slot = rng.gen_range(0..len);
+                    state.pattern[slot] = !state.pattern[slot];
+                }
+            }
+            KernelSpec::InvertedPrevOuter {
+                trip,
+                noise_branches,
+            } => {
+                let state = self.nest_state(rng, trip as usize);
+                let pattern = state.pattern.clone();
+                self.emit_nest(rng, trace, trip, noise_branches, |m, _| {
+                    !pattern[m as usize]
+                });
+                let state = self.nest.as_mut().expect("nest initialized");
+                for slot in state.pattern.iter_mut() {
+                    *slot = !*slot;
+                }
+            }
+            KernelSpec::NestedConditional {
+                trip,
+                guard_rate,
+                drift,
+            } => {
+                let max = trip.max() as usize;
+                let trips = trip.draw(rng);
+                let state = self.nest_state(rng, max);
+                let pattern = state.pattern.clone();
+                let body_pc = self.pc(0);
+                let guard_pc = self.pc(1);
+                let back_pc = self.pc(2);
+                let guard_threshold = (guard_rate * 10.0) as u32;
+                for m in 0..trips {
+                    // Deterministic per-iteration guard (stable across
+                    // outer iterations): the guard itself is an easy
+                    // same-iteration branch, the nested branch is the
+                    // hard one.
+                    let guard = (m * 7 + 3) % 10 < guard_threshold;
+                    trace.push(
+                        BranchRecord::conditional(guard_pc, guard_pc + 0x40, guard)
+                            .with_leading_instructions(BODY_WORK),
+                    );
+                    if guard {
+                        // The nested branch: executes only some
+                        // iterations, outcome keyed to m.
+                        trace.push(
+                            BranchRecord::conditional(body_pc, body_pc + 0x40, pattern[m as usize])
+                                .with_leading_instructions(2),
+                        );
+                    }
+                    trace.push(
+                        BranchRecord::conditional(back_pc, self.pc_base, m + 1 < trips)
+                            .with_leading_instructions(2),
+                    );
+                }
+                if rng.gen_bool(drift) {
+                    let state = self.nest.as_mut().expect("nest initialized");
+                    let slot = rng.gen_range(0..state.pattern.len());
+                    state.pattern[slot] = !state.pattern[slot];
+                }
+            }
+            KernelSpec::LoopExit { trips } => {
+                for (i, &t) in trips.iter().enumerate() {
+                    let pc = self.pc(i as u64);
+                    for m in 0..t {
+                        trace.push(
+                            BranchRecord::conditional(pc, self.pc_base, m + 1 < t)
+                                .with_leading_instructions(BODY_WORK),
+                        );
+                    }
+                }
+            }
+            KernelSpec::LongLoop {
+                trip,
+                noise_branches,
+            } => {
+                let back_pc = self.pc(1);
+                for m in 0..trip {
+                    for j in 0..noise_branches {
+                        let pc = self.pc(40 + j as u64);
+                        trace.push(
+                            BranchRecord::conditional(pc, pc + 0x40, rng.gen_bool(0.85))
+                                .with_leading_instructions(4),
+                        );
+                    }
+                    trace.push(
+                        BranchRecord::conditional(back_pc, self.pc_base, m + 1 < trip)
+                            .with_leading_instructions(4),
+                    );
+                }
+            }
+            KernelSpec::Biased { probabilities } => {
+                for (i, &p) in probabilities.iter().enumerate() {
+                    let pc = self.pc(i as u64);
+                    trace.push(
+                        BranchRecord::conditional(pc, pc + 0x80, rng.gen_bool(p))
+                            .with_leading_instructions(BODY_WORK),
+                    );
+                }
+                // A sprinkle of non-conditional control flow for realism.
+                let callee = self.pc(100);
+                trace.push(BranchRecord::call(self.pc(90), callee).with_leading_instructions(2));
+                trace.push(BranchRecord::ret(callee + 8, self.pc(91)).with_leading_instructions(3));
+            }
+            KernelSpec::GlobalCorrelated { lag } => {
+                // Long-period source pattern: hard for short histories,
+                // learnable by the geometric tables — and branch B below
+                // is the pure global-correlation demo (it repeats the
+                // source from a few rounds back).
+                if self.period_positions.is_empty() {
+                    self.period_positions = vec![0];
+                }
+                let pos = self.period_positions[0];
+                self.period_positions[0] = (pos + 1) % 47;
+                let source = pos < 21;
+                self.outcome_queue.push(source);
+                let a_pc = self.pc(0);
+                let b_pc = self.pc(1);
+                trace.push(
+                    BranchRecord::conditional(a_pc, a_pc + 0x80, source)
+                        .with_leading_instructions(BODY_WORK),
+                );
+                // Filler branches between correlator and correlated.
+                for f in 0..lag.saturating_sub(1) {
+                    let pc = self.pc(10 + f as u64);
+                    trace.push(
+                        BranchRecord::conditional(pc, pc + 0x80, f % 2 == 0)
+                            .with_leading_instructions(1),
+                    );
+                }
+                let delayed = if self.outcome_queue.len() > 4 {
+                    self.outcome_queue.remove(0)
+                } else {
+                    source
+                };
+                trace.push(
+                    BranchRecord::conditional(b_pc, b_pc + 0x80, delayed)
+                        .with_leading_instructions(2),
+                );
+            }
+            KernelSpec::LocalPeriodic { periods, duty } => {
+                if self.period_positions.len() != periods.len() {
+                    self.period_positions = vec![0; periods.len()];
+                }
+                // Randomly interleave the periodic branches so global
+                // history sees no stable inter-branch pattern.
+                for _ in 0..periods.len() {
+                    let i = rng.gen_range(0..periods.len());
+                    let pc = self.pc(i as u64);
+                    let pos = self.period_positions[i];
+                    let taken = pos < duty.min(periods[i] - 1);
+                    self.period_positions[i] = (pos + 1) % periods[i];
+                    trace.push(
+                        BranchRecord::conditional(pc, pc + 0x80, taken)
+                            .with_leading_instructions(BODY_WORK),
+                    );
+                }
+            }
+            KernelSpec::Irregular { branches, spread } => {
+                if self.irregular_bias.len() != branches {
+                    self.irregular_bias = (0..branches)
+                        .map(|_| 0.5 + rng.gen_range(-spread..=spread))
+                        .collect();
+                }
+                for i in 0..branches {
+                    let pc = self.pc(i as u64);
+                    let taken = rng.gen_bool(self.irregular_bias[i].clamp(0.01, 0.99));
+                    trace.push(
+                        BranchRecord::conditional(pc, pc + 0x80, taken)
+                            .with_leading_instructions(BODY_WORK),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Emits one outer iteration of a 2-D nest: per inner iteration, the
+    /// body branch (outcome from `body`), `noise` random branches, and
+    /// the loop-closing backward branch.
+    fn emit_nest<F: Fn(u32, &mut StdRng) -> bool>(
+        &mut self,
+        rng: &mut StdRng,
+        trace: &mut Trace,
+        trips: u32,
+        noise: usize,
+        body: F,
+    ) {
+        let body_pc = self.pc(0);
+        let back_pc = self.pc(1);
+        for m in 0..trips {
+            let taken = body(m, rng);
+            trace.push(
+                BranchRecord::conditional(body_pc, body_pc + 0x40, taken)
+                    .with_leading_instructions(BODY_WORK),
+            );
+            for j in 0..noise {
+                // Mostly-taken data-dependent branch: pollutes global
+                // history without dominating the misprediction count.
+                let pc = self.pc(40 + j as u64);
+                trace.push(
+                    BranchRecord::conditional(pc, pc + 0x40, rng.gen_bool(0.82))
+                        .with_leading_instructions(3),
+                );
+            }
+            trace.push(
+                BranchRecord::conditional(back_pc, self.pc_base, m + 1 < trips)
+                    .with_leading_instructions(3),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run_spec(spec: KernelSpec, budget: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut kernel = spec.instantiate(0x10000);
+        let mut trace = Trace::new("k");
+        kernel.run(&mut rng, &mut trace, budget);
+        trace
+    }
+
+    #[test]
+    fn same_iteration_emits_nest_shape() {
+        let t = run_spec(
+            KernelSpec::SameIteration {
+                trip: TripCount::Fixed(8),
+                drift: 0.2,
+                noise_branches: 1,
+            },
+            20_000,
+        );
+        let stats = t.stats();
+        assert!(stats.conditional_backward > 0, "has loop-closing branches");
+        assert!(stats.static_conditionals >= 3);
+        assert!(t.instruction_count() >= 20_000);
+    }
+
+    #[test]
+    fn diagonal_outcomes_shift_by_one() {
+        // Verify the planted identity Out[N][M] == Out[N-1][M-1] on the
+        // body branch (modulo the 5% drift).
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut kernel = KernelSpec::Diagonal {
+            trip: 16,
+            noise_branches: 0,
+        }
+        .instantiate(0x10000);
+        let mut trace = Trace::new("d");
+        for _ in 0..60 {
+            kernel.run_once(&mut rng, &mut trace);
+        }
+        let body: Vec<bool> = trace
+            .iter()
+            .filter(|r| r.pc == 0x10000)
+            .map(|r| r.taken)
+            .collect();
+        let trips = 16usize;
+        let outers = body.len() / trips;
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for n in 1..outers {
+            for m in 1..trips {
+                total += 1;
+                matches += usize::from(body[n * trips + m] == body[(n - 1) * trips + (m - 1)]);
+            }
+        }
+        let rate = matches as f64 / total as f64;
+        assert!(rate > 0.9, "diagonal identity holds {rate:.3}");
+    }
+
+    #[test]
+    fn inverted_outcomes_flip_every_outer_iteration() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut kernel = KernelSpec::InvertedPrevOuter {
+            trip: 12,
+            noise_branches: 0,
+        }
+        .instantiate(0x20000);
+        let mut trace = Trace::new("i");
+        for _ in 0..20 {
+            kernel.run_once(&mut rng, &mut trace);
+        }
+        let body: Vec<bool> = trace
+            .iter()
+            .filter(|r| r.pc == 0x20000)
+            .map(|r| r.taken)
+            .collect();
+        for n in 1..body.len() / 12 {
+            for m in 0..12 {
+                assert_eq!(body[n * 12 + m], !body[(n - 1) * 12 + m]);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_conditional_body_does_not_run_every_iteration() {
+        let t = run_spec(
+            KernelSpec::NestedConditional {
+                trip: TripCount::Fixed(16),
+                guard_rate: 0.5,
+                drift: 0.1,
+            },
+            30_000,
+        );
+        let guards = t.iter().filter(|r| r.pc == 0x10008).count();
+        let bodies = t.iter().filter(|r| r.pc == 0x10000).count();
+        assert!(
+            bodies > 0 && bodies < guards,
+            "body runs on a subset: {bodies}/{guards}"
+        );
+    }
+
+    #[test]
+    fn variable_trip_draws_vary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trip = TripCount::Variable { min: 4, max: 32 };
+        let draws: Vec<u32> = (0..64).map(|_| trip.draw(&mut rng)).collect();
+        assert!(draws.iter().any(|&t| t != draws[0]), "trips vary");
+        assert!(draws.iter().all(|&t| (4..=32).contains(&t)));
+        assert_eq!(trip.max(), 32);
+    }
+
+    #[test]
+    fn biased_kernel_has_noncond_records() {
+        let t = run_spec(
+            KernelSpec::Biased {
+                probabilities: vec![0.95, 0.2, 0.7],
+            },
+            5_000,
+        );
+        assert!(t.iter().any(|r| !r.is_conditional()));
+        let stats = t.stats();
+        assert_eq!(stats.static_conditionals, 3);
+    }
+
+    #[test]
+    fn local_periodic_positions_follow_periods() {
+        let t = run_spec(
+            KernelSpec::LocalPeriodic {
+                periods: vec![5, 7],
+                duty: 3,
+            },
+            10_000,
+        );
+        // Each static branch must follow its own duty cycle exactly.
+        for (slot, period) in [(0u64, 5u32), (1, 7)] {
+            let pc = 0x10000 + slot * 8;
+            let outs: Vec<bool> = t.iter().filter(|r| r.pc == pc).map(|r| r.taken).collect();
+            for (i, &o) in outs.iter().enumerate() {
+                assert_eq!(o, (i as u32 % period) < 3, "branch {slot} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_is_roughly_balanced() {
+        let t = run_spec(
+            KernelSpec::Irregular {
+                branches: 4,
+                spread: 0.1,
+            },
+            50_000,
+        );
+        let rate = t.stats().taken_rate().unwrap();
+        assert!((0.3..=0.7).contains(&rate), "taken rate {rate:.3}");
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a = run_spec(
+            KernelSpec::Diagonal {
+                trip: 8,
+                noise_branches: 1,
+            },
+            10_000,
+        );
+        let b = run_spec(
+            KernelSpec::Diagonal {
+                trip: 8,
+                noise_branches: 1,
+            },
+            10_000,
+        );
+        assert_eq!(a, b);
+    }
+}

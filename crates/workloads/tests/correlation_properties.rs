@@ -1,0 +1,119 @@
+//! Suite-level verification that the planted correlations actually hold
+//! in the generated flagship traces — the contract between the workload
+//! generator and the experiments.
+
+use bp_workloads::{find_benchmark, generate};
+
+/// Extracts per-occurrence outcomes of the branch at `pc`.
+fn outcomes_of(trace: &bp_trace::Trace, pc: u64) -> Vec<bool> {
+    trace
+        .iter()
+        .filter(|r| r.pc == pc)
+        .map(|r| r.taken)
+        .collect()
+}
+
+/// Finds the most frequent conditional branch PC in a PC range.
+fn hottest_branch(trace: &bp_trace::Trace, lo: u64, hi: u64) -> Option<u64> {
+    let mut counts = std::collections::HashMap::new();
+    for r in trace.iter() {
+        if r.is_conditional() && r.pc >= lo && r.pc < hi && !r.is_backward() {
+            *counts.entry(r.pc).or_insert(0u64) += 1;
+        }
+    }
+    // Tie-break toward the lowest PC: kernels place the interesting body
+    // branch at the base of their region, noise branches higher up.
+    counts
+        .into_iter()
+        .max_by_key(|&(pc, c)| (c, u64::MAX - pc))
+        .map(|(pc, _)| pc)
+}
+
+/// SPEC2K6-12's diagonal body branch must satisfy
+/// `Out[N][M] = Out[N-1][M-1]` for the overwhelming majority of
+/// iterations (the drift makes it slightly less than 100 %).
+#[test]
+fn spec2k6_12_diagonal_identity_holds() {
+    let trace = generate(&find_benchmark("SPEC2K6-12").expect("exists"), 150_000);
+    // The diagonal kernel is the first kernel: PC region 0x40_0000.
+    let body = hottest_branch(&trace, 0x40_0000, 0x41_0000).expect("diagonal body exists");
+    let outs = outcomes_of(&trace, body);
+    let trip = 40usize;
+    let outers = outs.len() / trip;
+    assert!(outers > 50, "need many outer iterations, got {outers}");
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for n in 1..outers {
+        for m in 1..trip {
+            total += 1;
+            matches += usize::from(outs[n * trip + m] == outs[(n - 1) * trip + (m - 1)]);
+        }
+    }
+    let rate = matches as f64 / total as f64;
+    assert!(rate > 0.85, "diagonal identity rate {rate:.3}");
+}
+
+/// MM-4's inverted body branch must satisfy `Out[N][M] = ¬Out[N-1][M]`
+/// exactly (no drift in that kernel).
+#[test]
+fn mm4_inversion_identity_holds() {
+    let trace = generate(&find_benchmark("MM-4").expect("exists"), 450_000);
+    let body = hottest_branch(&trace, 0x40_0000, 0x41_0000).expect("inverted body exists");
+    let outs = outcomes_of(&trace, body);
+    let trip = 40usize;
+    let outers = outs.len() / trip;
+    assert!(outers > 20);
+    for n in 1..outers {
+        for m in 0..trip {
+            assert_eq!(
+                outs[n * trip + m],
+                !outs[(n - 1) * trip + m],
+                "inversion broken at outer {n}, inner {m}"
+            );
+        }
+    }
+}
+
+/// SPEC2K6-04's same-iteration branch sits in a loop with *variable*
+/// trip counts (the anti-wormhole property): consecutive traversal
+/// lengths of the inner backward branch must differ.
+#[test]
+fn spec2k6_04_trip_counts_vary() {
+    let trace = generate(&find_benchmark("SPEC2K6-04").expect("exists"), 150_000);
+    // The backward branch of the first kernel closes the inner loop.
+    let mut lengths = Vec::new();
+    let mut run = 0u32;
+    for r in trace.iter() {
+        if r.is_conditional() && r.is_backward() && (0x40_0000..0x41_0000).contains(&r.pc) {
+            if r.taken {
+                run += 1;
+            } else {
+                lengths.push(run);
+                run = 0;
+            }
+        }
+    }
+    assert!(lengths.len() > 50, "need many traversals");
+    let distinct: std::collections::HashSet<u32> = lengths.iter().copied().collect();
+    assert!(
+        distinct.len() > 10,
+        "trip counts must vary widely, got {} distinct values",
+        distinct.len()
+    );
+}
+
+/// WS04's nested branch must execute on only a strict subset of inner
+/// iterations (the paper's B4 case).
+#[test]
+fn ws04_nested_branch_is_guarded() {
+    let trace = generate(&find_benchmark("WS04").expect("exists"), 150_000);
+    // NestedConditional kernel layout: body at +0, guard at +8,
+    // backward at +16 in the first kernel region.
+    let body = outcomes_of(&trace, 0x40_0000).len();
+    let guard = outcomes_of(&trace, 0x40_0008).len();
+    assert!(body > 0, "nested body must execute");
+    assert!(
+        body < guard * 9 / 10,
+        "nested body ({body}) must run on a strict subset of guard occurrences ({guard})"
+    );
+}

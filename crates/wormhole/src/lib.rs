@@ -1,0 +1,26 @@
+//! The wormhole (WH) side predictor (Albericio, San Miguel, Enright
+//! Jerger, Moshovos; MICRO 2014), as characterized in §2.2.2 and §3.3 of
+//! the IMLI paper.
+//!
+//! WH targets branches encapsulated in multidimensional loops whose
+//! outcome correlates with the *same branch in neighbouring inner
+//! iterations of the previous outer iteration*: `Out[N][M]` vs
+//! `Out[N-1][M+D]` for small `D`. It keeps a long per-entry local history
+//! and, knowing the inner loop's constant trip count `Ni` (from a loop
+//! predictor), retrieves the bits `Ni-1±1` positions back — precisely the
+//! previous-outer-iteration neighbourhood — to index a small array of
+//! confidence counters.
+//!
+//! The IMLI paper's point (reproduced by this crate's tests and the
+//! workspace benchmarks): WH works only for loops with *constant* trip
+//! counts and branches executed on *every* iteration, and its speculative
+//! state (long per-branch local histories) is prohibitively expensive,
+//! while IMLI-OH captures the same correlation with a 26-bit checkpoint.
+
+#![warn(missing_docs)]
+
+mod predictor;
+mod wrapper;
+
+pub use predictor::{Wormhole, WormholeConfig, WormholePrediction};
+pub use wrapper::WormholeAugmented;

@@ -1,0 +1,89 @@
+//! Loop-nest analysis: reproduce the paper's Figure 1 taxonomy on a
+//! hand-built two-dimensional loop nest and watch which component
+//! captures which branch.
+//!
+//! The trace interleaves four body branches inside one inner loop:
+//!   B1: diagonal     — Out[N][M] = Out[N-1][M-1]   (WH / IMLI-OH)
+//!   B2: same-iter    — Out[N][M] ≈ Out[N-1][M]     (IMLI-SIC)
+//!   B3: inverted     — Out[N][M] = ¬Out[N-1][M]    (IMLI-OH)
+//!   B4: nested       — same-iter under a guard     (IMLI-SIC, not WH)
+//!
+//! ```sh
+//! cargo run --release --example loop_nest_analysis
+//! ```
+
+use imli_repro::sim::{make_predictor, simulate, TextTable};
+use imli_repro::trace::{BranchRecord, Trace};
+
+const TRIP: usize = 24;
+const OUTERS: usize = 3_000;
+
+fn build_nest() -> Trace {
+    let mut trace = Trace::new("figure-1-nest");
+    let mut pattern: Vec<bool> = (0..TRIP + OUTERS + 2).map(|i| (i * 13) % 5 < 2).collect();
+    let mut inverted: Vec<bool> = (0..TRIP).map(|i| (i * 7) % 3 == 0).collect();
+    let same: Vec<bool> = (0..TRIP).map(|i| (i * 11) % 4 != 0).collect();
+    for n in 0..OUTERS {
+        for m in 0..TRIP {
+            // B1 at 0x1000: diagonal (pattern shifted by one per outer).
+            let b1 = pattern[m + (OUTERS - n)];
+            trace.push(BranchRecord::conditional(0x1000, 0x1040, b1).with_leading_instructions(6));
+            // B2 at 0x1008: stable per-iteration pattern.
+            trace.push(
+                BranchRecord::conditional(0x1008, 0x1048, same[m]).with_leading_instructions(4),
+            );
+            // B3 at 0x1010: inverts every outer iteration.
+            trace.push(
+                BranchRecord::conditional(0x1010, 0x1050, inverted[m]).with_leading_instructions(4),
+            );
+            // B4 at 0x1018/0x1020: nested under a deterministic guard.
+            let guard = (m * 7 + 3) % 10 < 6;
+            trace.push(
+                BranchRecord::conditional(0x1018, 0x1058, guard).with_leading_instructions(3),
+            );
+            if guard {
+                trace.push(
+                    BranchRecord::conditional(0x1020, 0x1060, same[(m + 5) % TRIP])
+                        .with_leading_instructions(2),
+                );
+            }
+            // Inner loop backward branch at 0x1030.
+            trace.push(
+                BranchRecord::conditional(0x1030, 0x1000, m + 1 < TRIP)
+                    .with_leading_instructions(3),
+            );
+        }
+        for slot in inverted.iter_mut() {
+            *slot = !*slot;
+        }
+        let _ = &mut pattern; // the diagonal shift is realized via the index
+    }
+    trace
+}
+
+fn main() {
+    let trace = build_nest();
+    println!("{trace}\n");
+    let mut table = TextTable::new(vec!["predictor", "MPKI", "vs TAGE-GSC"]);
+    let mut base_mpki = None;
+    for config in [
+        "tage-gsc",
+        "tage-gsc+sic",
+        "tage-gsc+oh",
+        "tage-gsc+imli",
+        "tage-gsc+wh",
+    ] {
+        let mut p = make_predictor(config).expect("registered");
+        let result = simulate(p.as_mut(), &trace);
+        let mpki = result.mpki();
+        let base = *base_mpki.get_or_insert(mpki);
+        table.row(vec![
+            result.predictor,
+            format!("{mpki:.3}"),
+            format!("{:+.1} %", (mpki - base) / base * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("expected: SIC fixes B2/B4, OH also fixes B1/B3, WH fixes B1 only;");
+    println!("the full IMLI configuration approaches the sum of both components.");
+}

@@ -1,0 +1,48 @@
+//! Shootout: every registered predictor configuration over a slice of
+//! the CBP4-like suite, ranked by mean MPKI, with storage budgets.
+//!
+//! ```sh
+//! cargo run --release --example predictor_shootout
+//! ```
+
+use imli_repro::sim::{registry, run_suite, TextTable};
+use imli_repro::workloads::cbp4_suite;
+
+fn main() {
+    // A representative slice: the two flagship planted benchmarks plus
+    // four generic ones. (The full 2×40-benchmark runs live in the
+    // exp_* binaries of the bp-bench crate.)
+    let suite: Vec<_> = cbp4_suite()
+        .into_iter()
+        .filter(|s| {
+            [
+                "SPEC2K6-04",
+                "SPEC2K6-12",
+                "MM-4",
+                "SPEC2K6-01",
+                "SERVER-3",
+                "CLIENT-2",
+            ]
+            .contains(&s.name.as_str())
+        })
+        .collect();
+
+    let mut rows: Vec<(String, f64, u64)> = Vec::new();
+    for (name, factory) in registry() {
+        let result = run_suite(&factory, &suite, 400_000);
+        let storage = factory().storage_bits();
+        rows.push((name.to_owned(), result.mean_mpki(), storage));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+
+    let mut table = TextTable::new(vec!["rank", "config", "mean MPKI", "Kbit"]);
+    for (i, (name, mpki, bits)) in rows.iter().enumerate() {
+        table.row(vec![
+            (i + 1).to_string(),
+            name.clone(),
+            format!("{mpki:.3}"),
+            format!("{:.0}", *bits as f64 / 1024.0),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,163 @@
+//! `bp` — command-line front end for the IMLI reproduction.
+//!
+//! ```text
+//! bp list benchmarks            list the 80 synthetic benchmarks
+//! bp list predictors            list the registered configurations
+//! bp generate <bench> <instr> <file>
+//!                               generate a benchmark trace to disk
+//! bp simulate <config> <bench-or-file> [instr]
+//!                               run one predictor over a benchmark name
+//!                               or a serialized trace file
+//! bp profile <config> <bench> [instr] [top]
+//!                               per-static-branch misprediction profile
+//! bp compare <bench> [instr]    all registered predictors on one benchmark
+//! ```
+
+use imli_repro::sim::{make_predictor, registry, simulate, MispredictionProfile, TextTable};
+use imli_repro::trace::{read_trace, write_trace, Trace};
+use imli_repro::workloads::{cbp3_suite, cbp4_suite, find_benchmark, generate};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bp list (benchmarks|predictors)\n  bp generate <bench> <instr> <file>\n  \
+         bp simulate <config> <bench-or-file> [instr]\n  bp profile <config> <bench> [instr] [top]\n  \
+         bp compare <bench> [instr]"
+    );
+    ExitCode::FAILURE
+}
+
+fn load_trace(source: &str, instructions: u64) -> Result<Trace, String> {
+    if let Some(spec) = find_benchmark(source) {
+        return Ok(generate(&spec, instructions));
+    }
+    let file = File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+    read_trace(BufReader::new(file)).map_err(|e| format!("cannot parse {source}: {e}"))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s}"))
+}
+
+fn run(args: &[String]) -> Result<Option<()>, String> {
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["list", "benchmarks"] => {
+            for (suite, specs) in [("CBP4", cbp4_suite()), ("CBP3", cbp3_suite())] {
+                for spec in specs {
+                    println!("{suite}/{}", spec.name);
+                }
+            }
+            Ok(())
+        }
+        ["list", "predictors"] => {
+            let mut table = TextTable::new(vec!["name", "configuration", "Kbit"]);
+            for (name, factory) in registry() {
+                let p = factory();
+                table.row(vec![
+                    name.to_owned(),
+                    p.name().to_owned(),
+                    format!("{:.0}", p.storage_bits() as f64 / 1024.0),
+                ]);
+            }
+            println!("{table}");
+            Ok(())
+        }
+        ["generate", bench, instr, path] => {
+            parse_u64(instr, "instruction count").and_then(|instructions| {
+                let spec = find_benchmark(bench).ok_or_else(|| {
+                    format!("unknown benchmark {bench} (try `bp list benchmarks`)")
+                })?;
+                let trace = generate(&spec, instructions);
+                let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                write_trace(BufWriter::new(file), &trace)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {trace}");
+                Ok(())
+            })
+        }
+        ["simulate", config, source] | ["simulate", config, source, _] => {
+            let instructions = args
+                .get(3)
+                .map(|s| parse_u64(s, "instruction count"))
+                .transpose()?
+                .unwrap_or(1_000_000);
+            let trace = load_trace(source, instructions)?;
+            let mut p = make_predictor(config)
+                .ok_or_else(|| format!("unknown predictor {config} (try `bp list predictors`)"))?;
+            let result = simulate(p.as_mut(), &trace);
+            println!("{result}");
+            Ok(())
+        }
+        ["profile", config, bench] | ["profile", config, bench, ..] => {
+            let instructions = args
+                .get(3)
+                .map(|s| parse_u64(s, "instruction count"))
+                .transpose()?
+                .unwrap_or(1_000_000);
+            let top = args
+                .get(4)
+                .map(|s| parse_u64(s, "top count"))
+                .transpose()?
+                .unwrap_or(10) as usize;
+            let trace = load_trace(bench, instructions)?;
+            let mut p =
+                make_predictor(config).ok_or_else(|| format!("unknown predictor {config}"))?;
+            let profile = MispredictionProfile::collect(p.as_mut(), &trace);
+            println!(
+                "{config} on {}: {:.3} MPKI; top-{top} branches cause {:.0} % of mispredictions",
+                trace.name(),
+                profile.mpki(),
+                profile.concentration(top) * 100.0
+            );
+            let mut table = TextTable::new(vec!["pc", "occurrences", "mispredicted", "rate"]);
+            for b in profile.top(top) {
+                table.row(vec![
+                    format!("{:#x}{}", b.pc, if b.backward { " (bwd)" } else { "" }),
+                    b.occurrences.to_string(),
+                    b.mispredictions.to_string(),
+                    format!("{:.1} %", b.misprediction_rate() * 100.0),
+                ]);
+            }
+            println!("{table}");
+            Ok(())
+        }
+        ["compare", bench] | ["compare", bench, _] => {
+            let instructions = args
+                .get(2)
+                .map(|s| parse_u64(s, "instruction count"))
+                .transpose()?
+                .unwrap_or(1_000_000);
+            let trace = load_trace(bench, instructions)?;
+            let mut rows: Vec<(String, f64)> = registry()
+                .into_iter()
+                .map(|(name, factory)| {
+                    let mut p = factory();
+                    (name.to_owned(), simulate(p.as_mut(), &trace).mpki())
+                })
+                .collect();
+            rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            let mut table = TextTable::new(vec!["config", "MPKI"]);
+            for (name, mpki) in rows {
+                table.row(vec![name, format!("{mpki:.3}")]);
+            }
+            println!("{} ({} instructions)\n{table}", trace.name(), instructions);
+            Ok(())
+        }
+        _ => return Ok(None),
+    }
+    .map(Some)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(Some(())) => ExitCode::SUCCESS,
+        Ok(None) => usage(),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # imli-repro — facade crate
+//!
+//! Reproduction of *"The Inner Most Loop Iteration counter: a new dimension
+//! in branch history"* (Seznec, San Miguel, Albericio; MICRO 2015).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`trace`] — branch trace model and serialization,
+//! * [`history`] — global/folded/path/local history substrates,
+//! * [`components`] — predictor building blocks and the
+//!   [`components::ConditionalPredictor`] trait,
+//! * [`imli`] — the paper's contribution: IMLI counter, IMLI-SIC, IMLI-OH,
+//! * [`tage`] — TAGE + statistical corrector hosts (TAGE-GSC, TAGE-SC-L),
+//! * [`gehl`] — GEHL and FTL hosts,
+//! * [`wormhole`] — the wormhole side predictor the paper compares against,
+//! * [`perceptron`] — a hashed-perceptron host demonstrating the "any
+//!   neural-inspired predictor" claim,
+//! * [`workloads`] — synthetic CBP-like benchmark suites,
+//! * [`sim`] — the trace-driven simulator, predictor registry and
+//!   experiment harnesses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use imli_repro::sim::{simulate, Mpki};
+//! use imli_repro::tage::TageGscImli;
+//! use imli_repro::workloads::quick_benchmark;
+//!
+//! let trace = quick_benchmark("demo", 0xC0FFEE, 200_000);
+//! let mut predictor = TageGscImli::default_config();
+//! let result = simulate(&mut predictor, &trace);
+//! println!("{}: {:.3} MPKI", trace.name(), Mpki::of(&result).value());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bp_components as components;
+pub use bp_gehl as gehl;
+pub use bp_history as history;
+pub use bp_perceptron as perceptron;
+pub use bp_sim as sim;
+pub use bp_tage as tage;
+pub use bp_trace as trace;
+pub use bp_workloads as workloads;
+pub use bp_wormhole as wormhole;
+pub use imli;

@@ -1,0 +1,78 @@
+//! Cross-crate determinism and serialization round trips.
+
+use imli_repro::sim::{make_predictor, registry, simulate};
+use imli_repro::trace::{read_trace, write_trace};
+use imli_repro::workloads::{cbp3_suite, cbp4_suite, find_benchmark, generate};
+
+/// Every predictor must produce bit-identical results when run twice on
+/// the same trace — there is no hidden nondeterminism anywhere in the
+/// stack (the TAGE allocation "randomness" is a seeded xorshift).
+#[test]
+fn simulation_is_deterministic_for_every_registered_predictor() {
+    let spec = find_benchmark("MM07").expect("exists");
+    let trace = generate(&spec, 120_000);
+    for (name, factory) in registry() {
+        let mut a = factory();
+        let mut b = factory();
+        let ra = simulate(a.as_mut(), &trace);
+        let rb = simulate(b.as_mut(), &trace);
+        assert_eq!(ra.stats, rb.stats, "{name} diverged between runs");
+    }
+}
+
+/// Suite generation is stable: regenerating a benchmark yields the
+/// identical trace (this is what makes every experiment reproducible
+/// from the spec alone).
+#[test]
+fn suite_generation_is_reproducible() {
+    for name in ["SPEC2K6-12", "WS04", "CLIENT-3"] {
+        let spec = find_benchmark(name).expect("exists");
+        assert_eq!(generate(&spec, 60_000), generate(&spec, 60_000), "{name}");
+    }
+}
+
+/// A generated benchmark survives the binary trace format unchanged, and
+/// the deserialized trace simulates identically.
+#[test]
+fn trace_io_round_trip_preserves_simulation() {
+    let spec = find_benchmark("INT03").expect("exists");
+    let trace = generate(&spec, 80_000);
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).expect("serialize");
+    let back = read_trace(buf.as_slice()).expect("deserialize");
+    assert_eq!(back, trace);
+
+    let mut p1 = make_predictor("tage-gsc+imli").expect("registered");
+    let mut p2 = make_predictor("tage-gsc+imli").expect("registered");
+    let r1 = simulate(p1.as_mut(), &trace);
+    let r2 = simulate(p2.as_mut(), &back);
+    assert_eq!(r1.stats, r2.stats);
+}
+
+/// Both suites generate traces with realistic aggregate shape: branch
+/// density in the 1/4..1/12 instruction range and non-degenerate taken
+/// rates (calibration guard for the whole evaluation).
+#[test]
+fn suites_have_realistic_branch_statistics() {
+    for spec in cbp4_suite().iter().chain(cbp3_suite().iter()) {
+        let trace = generate(spec, 40_000);
+        let stats = trace.stats();
+        let density = stats.branch_density().expect("has branches");
+        assert!(
+            (1.0 / 14.0..=1.0 / 3.0).contains(&density),
+            "{}: branch density {density:.4} unrealistic",
+            spec.name
+        );
+        let taken = stats.taken_rate().expect("has conditionals");
+        assert!(
+            (0.1..=0.9).contains(&taken),
+            "{}: taken rate {taken:.3} degenerate",
+            spec.name
+        );
+        assert!(
+            stats.static_conditionals >= 5,
+            "{}: too few static branches",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-crate tests of the paper's §5 argument: local-history
+//! components help, but much less once IMLI is present.
+
+use imli_repro::sim::{make_predictor, simulate};
+use imli_repro::trace::Trace;
+use imli_repro::workloads::{find_benchmark, generate};
+
+const BUDGET: u64 = 250_000;
+
+fn mpki(config: &str, trace: &Trace) -> f64 {
+    let mut p = make_predictor(config).expect("registered config");
+    simulate(p.as_mut(), trace).mpki()
+}
+
+/// Benchmarks flavoured with local-periodic content (interleaved
+/// per-branch periodic patterns) must benefit from the "+L"
+/// configurations on both hosts.
+#[test]
+fn local_components_help_local_periodic_benchmarks() {
+    // CLIENT-2 and INT01 carry the LocalPeriodic kernel in the suites.
+    for bench in ["CLIENT-2", "INT01"] {
+        let trace = generate(&find_benchmark(bench).expect("exists"), BUDGET);
+        let tage = mpki("tage-gsc", &trace);
+        let tage_l = mpki("tage-sc-l", &trace);
+        assert!(
+            tage_l < tage,
+            "{bench}: TAGE-SC-L must beat TAGE-GSC ({tage:.3} -> {tage_l:.3})"
+        );
+        let gehl = mpki("gehl", &trace);
+        let ftl = mpki("ftl", &trace);
+        assert!(
+            ftl < gehl * 1.02,
+            "{bench}: FTL must not lose to GEHL ({gehl:.3} -> {ftl:.3})"
+        );
+    }
+}
+
+/// The §5 headline shape on the IMLI flagship benchmarks: adding local
+/// history on top of IMLI buys less than adding it to the base
+/// predictor (the components capture overlapping correlations).
+#[test]
+fn local_benefit_shrinks_once_imli_is_present() {
+    let mut base_gain = 0.0;
+    let mut imli_gain = 0.0;
+    for bench in ["SPEC2K6-04", "WS04", "MM07", "WS03"] {
+        let trace = generate(&find_benchmark(bench).expect("exists"), BUDGET);
+        let b = mpki("tage-gsc", &trace);
+        let l = mpki("tage-sc-l", &trace);
+        let i = mpki("tage-gsc+imli", &trace);
+        let il = mpki("tage-sc-l+imli", &trace);
+        base_gain += b - l;
+        imli_gain += i - il;
+    }
+    assert!(
+        imli_gain < base_gain,
+        "+L on top of +I ({imli_gain:.3}) must add less than +L alone ({base_gain:.3})"
+    );
+}
+
+/// The §5 record shape: TAGE-SC-L+IMLI must be the best of the four
+/// TAGE-family configurations on the IMLI-sensitive benchmarks, and
+/// TAGE-GSC+IMLI must at least match TAGE-SC-L there despite ~20 Kbit
+/// less storage.
+#[test]
+fn record_configuration_wins_on_imli_benchmarks() {
+    let mut sums = [0.0f64; 4];
+    for bench in ["SPEC2K6-04", "SPEC2K6-12", "WS04", "CLIENT02"] {
+        let trace = generate(&find_benchmark(bench).expect("exists"), BUDGET);
+        for (i, config) in ["tage-gsc", "tage-sc-l", "tage-gsc+imli", "tage-sc-l+imli"]
+            .iter()
+            .enumerate()
+        {
+            sums[i] += mpki(config, &trace);
+        }
+    }
+    let [base, scl, imli, record] = sums;
+    assert!(record < base && record < scl, "record must win: {sums:?}");
+    assert!(
+        imli < scl,
+        "TAGE-GSC+IMLI ({imli:.3}) must beat TAGE-SC-L ({scl:.3}) on IMLI benchmarks"
+    );
+}

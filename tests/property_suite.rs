@@ -1,0 +1,94 @@
+//! Workspace-level property tests: no predictor panics, loses
+//! determinism, or mismanages state on arbitrary branch streams.
+
+use imli_repro::imli::{ImliConfig, ImliState};
+use imli_repro::sim::registry;
+use imli_repro::trace::{BranchKind, BranchRecord};
+use proptest::prelude::*;
+
+/// Builds an arbitrary but structurally valid branch record.
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (0u64..2048, 0u64..2048, 0u8..5, any::<bool>(), 0u32..20).prop_map(
+        |(pc_sel, tgt_sel, kind, taken, lead)| {
+            let kind = BranchKind::from_code(kind).expect("in range");
+            BranchRecord {
+                pc: 0x1000 + pc_sel * 4,
+                target: 0x800 + tgt_sel * 4,
+                kind,
+                taken: taken || !kind.is_conditional(),
+                leading_instructions: lead,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every registered predictor survives arbitrary branch streams
+    /// (predict/update for conditionals, notify for the rest) without
+    /// panicking, and stays deterministic against a twin.
+    #[test]
+    fn predictors_never_panic_and_stay_deterministic(
+        records in proptest::collection::vec(arb_record(), 1..400)
+    ) {
+        for (name, factory) in registry() {
+            let mut a = factory();
+            let mut b = factory();
+            for r in &records {
+                if r.is_conditional() {
+                    let pa = a.predict(r.pc);
+                    let pb = b.predict(r.pc);
+                    prop_assert_eq!(pa, pb, "{} diverged", name);
+                    a.update(r);
+                    b.update(r);
+                } else {
+                    a.notify_nonconditional(r);
+                    b.notify_nonconditional(r);
+                }
+            }
+        }
+    }
+
+    /// The IMLI state's checkpoint/restore is exact under arbitrary
+    /// right-path/wrong-path interleavings.
+    #[test]
+    fn imli_checkpoint_is_exact_under_arbitrary_speculation(
+        right in proptest::collection::vec(arb_record(), 0..200),
+        wrong in proptest::collection::vec(arb_record(), 0..200),
+    ) {
+        let mut state = ImliState::new(&ImliConfig::default());
+        for r in &right {
+            state.observe(r);
+        }
+        let cp = state.checkpoint();
+        for w in &wrong {
+            state.observe_speculative(w);
+        }
+        state.restore(&cp);
+        prop_assert_eq!(state.counter().value(), cp.counter());
+        prop_assert_eq!(state.outer_history().pipe(), cp.pipe());
+    }
+
+    /// Storage accounting is stable: constructing a predictor twice
+    /// reports the same budget, and budgets never depend on the branch
+    /// stream.
+    #[test]
+    fn storage_accounting_is_static(
+        records in proptest::collection::vec(arb_record(), 0..100)
+    ) {
+        for (name, factory) in registry() {
+            let mut p = factory();
+            let before = p.storage_bits();
+            for r in &records {
+                if r.is_conditional() {
+                    let _ = p.predict(r.pc);
+                    p.update(r);
+                } else {
+                    p.notify_nonconditional(r);
+                }
+            }
+            prop_assert_eq!(before, p.storage_bits(), "{} budget drifted", name);
+        }
+    }
+}

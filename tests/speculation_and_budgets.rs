@@ -1,0 +1,83 @@
+//! Cross-crate tests of the paper's hardware-complexity claims:
+//! checkpoint sizes, storage budgets, and the delayed-update tolerance.
+
+use imli_repro::imli::{ImliConfig, ImliState};
+use imli_repro::sim::{make_predictor, simulate, speculative_imli_fidelity};
+use imli_repro::tage::{TageSc, TageScConfig};
+use imli_repro::workloads::{find_benchmark, generate, quick_benchmark};
+
+/// §4.4: the two IMLI components cost 708 bytes; the checkpoint is
+/// 26 bits.
+#[test]
+fn imli_budget_is_708_bytes_and_checkpoint_26_bits() {
+    let config = ImliConfig::default();
+    assert_eq!(config.storage_bits(), 708 * 8);
+    assert_eq!(config.checkpoint_bits(), 26);
+    let state = ImliState::new(&config);
+    assert_eq!(state.checkpoint_bits(), 26);
+}
+
+/// Table 1/2 deltas: +I adds ~6 Kbit (708 B) to either host, +L adds
+/// an order of magnitude more.
+#[test]
+fn host_budget_deltas_match_the_paper_shape() {
+    let bits = |name: &str| make_predictor(name).expect("registered").storage_bits() as f64;
+    let imli_delta_tage = bits("tage-gsc+imli") - bits("tage-gsc");
+    let imli_delta_gehl = bits("gehl+imli") - bits("gehl");
+    // Both hosts pay the same ~708-byte IMLI budget (±packaging).
+    assert!(
+        (imli_delta_tage - 708.0 * 8.0).abs() < 600.0,
+        "{imli_delta_tage}"
+    );
+    assert!(
+        (imli_delta_gehl - 708.0 * 8.0).abs() < 600.0,
+        "{imli_delta_gehl}"
+    );
+    let local_delta_tage = bits("tage-sc-l") - bits("tage-gsc");
+    let local_delta_gehl = bits("ftl") - bits("gehl");
+    assert!(local_delta_tage > 4.0 * imli_delta_tage);
+    assert!(local_delta_gehl > 4.0 * imli_delta_gehl);
+}
+
+/// §4.2.1/§4.3.2: checkpoint repair is exact over every suite flavour.
+#[test]
+fn speculation_repair_is_exact_across_benchmarks() {
+    for bench in ["SPEC2K6-12", "WS04", "MM-4"] {
+        let trace = generate(&find_benchmark(bench).expect("exists"), 100_000);
+        let report = speculative_imli_fidelity(&trace, &ImliConfig::default(), 29, 40);
+        assert_eq!(report.divergences, 0, "{bench}: {report}");
+    }
+}
+
+/// §4.3.2: a 63-branch commit delay on the outer-history table costs
+/// (virtually) nothing — far less than the IMLI gain itself.
+#[test]
+fn delayed_outer_history_update_is_harmless() {
+    let trace = quick_benchmark("delayed-oh", 0xD0, 400_000);
+    let mut immediate = TageSc::tage_gsc_imli();
+    let immediate_mpki = simulate(&mut immediate, &trace).mpki();
+    let mut delayed =
+        TageSc::new(TageScConfig::gsc_imli().with_imli(ImliConfig::delayed_update(63), "d63"));
+    let delayed_mpki = simulate(&mut delayed, &trace).mpki();
+    let mut base = TageSc::tage_gsc();
+    let base_mpki = simulate(&mut base, &trace).mpki();
+    let gain = base_mpki - immediate_mpki;
+    let cost = (delayed_mpki - immediate_mpki).abs();
+    assert!(gain > 0.0, "IMLI must help this workload");
+    assert!(
+        cost < gain * 0.25,
+        "63-branch delay must be nearly free: cost {cost:.4} vs gain {gain:.4}"
+    );
+}
+
+/// The composed predictors expose exactly the checkpoint the paper
+/// describes (only IMLI configurations have one).
+#[test]
+fn composed_predictors_surface_the_imli_checkpoint() {
+    assert!(TageSc::tage_gsc().imli_checkpoint().is_none());
+    let with = TageSc::tage_gsc_imli();
+    let cp = with
+        .imli_checkpoint()
+        .expect("IMLI config has a checkpoint");
+    assert_eq!(cp.counter(), 0, "fresh predictor starts at iteration 0");
+}
