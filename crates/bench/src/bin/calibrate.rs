@@ -3,7 +3,7 @@
 //! benefits from which component). Not tied to a single paper artifact;
 //! used while tuning workload parameters.
 
-use bp_bench::{instruction_budget, run_config};
+use bp_bench::{instruction_budget, run_configs};
 use bp_sim::TextTable;
 use bp_workloads::{cbp3_suite, cbp4_suite};
 
@@ -23,7 +23,7 @@ fn main() {
         ("CBP4", cbp4_suite(), &focus4[..]),
         ("CBP3", cbp3_suite(), &focus3[..]),
     ] {
-        let results: Vec<_> = configs.iter().map(|c| run_config(c, &suite)).collect();
+        let results = run_configs(&configs, &suite);
         let mut table = TextTable::new(
             std::iter::once("benchmark".to_owned())
                 .chain(configs.iter().map(|c| (*c).to_owned()))

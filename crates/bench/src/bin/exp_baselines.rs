@@ -6,7 +6,7 @@
 //! suites, with both well below the gshare/bimodal calibration
 //! baselines.
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::{make_predictor, TextTable};
 
 fn main() {
@@ -20,12 +20,24 @@ fn main() {
     ]);
     println!("E-BASE (§3.2): base predictors");
     println!("paper: TAGE-GSC 2.473/3.902 @228Kbit; GEHL 2.864/4.243 @204Kbit\n");
-    for config in configs {
+    // One engine grid per suite, all four configurations together.
+    let per_suite: Vec<Vec<f64>> = suites
+        .iter()
+        .map(|(_, specs)| {
+            run_configs(&configs, specs)
+                .iter()
+                .map(|r| r.mean_mpki())
+                .collect()
+        })
+        .collect();
+    for (i, config) in configs.iter().enumerate() {
         let storage = make_predictor(config).expect("registered").storage_bits();
-        let mut cells = vec![config.to_owned(), format!("{:.1}", storage as f64 / 1024.0)];
-        for (_, specs) in &suites {
-            let result = run_config(config, specs);
-            cells.push(format!("{:.3}", result.mean_mpki()));
+        let mut cells = vec![
+            (*config).to_owned(),
+            format!("{:.1}", storage as f64 / 1024.0),
+        ];
+        for suite_means in &per_suite {
+            cells.push(format!("{:.3}", suite_means[i]));
         }
         table.row(cells);
     }

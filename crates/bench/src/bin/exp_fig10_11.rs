@@ -5,24 +5,24 @@
 //! SIC+OH reach 2.694 and 3.958; the same benchmarks benefit as with
 //! TAGE-GSC.
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteComparison, TextTable};
 
 fn main() {
     println!("Figures 10-11: IMLI on GEHL\n");
     let mut all_rows: Vec<(String, f64, f64)> = Vec::new();
     for (suite_name, specs) in both_suites() {
-        let base = run_config("gehl", &specs);
-        let sic = run_config("gehl+sic", &specs);
-        let imli = run_config("gehl+imli", &specs);
+        let [base, sic, imli]: [_; 3] = run_configs(&["gehl", "gehl+sic", "gehl+imli"], &specs)
+            .try_into()
+            .expect("three configs in, three results out");
         println!(
             "{suite_name}: base {:.3} | +SIC {:.3} | +SIC+OH {:.3} MPKI",
             base.mean_mpki(),
             sic.mean_mpki(),
             imli.mean_mpki()
         );
-        let sic_cmp = SuiteComparison::new(base.clone(), sic);
-        let imli_cmp = SuiteComparison::new(base, imli);
+        let sic_cmp = SuiteComparison::new(base.clone(), sic).expect("same suite");
+        let imli_cmp = SuiteComparison::new(base, imli).expect("same suite");
         for ((bench, d_sic), (_, d_imli)) in
             sic_cmp.reductions().into_iter().zip(imli_cmp.reductions())
         {

@@ -5,18 +5,15 @@
 //! across benchmarks than the concentrated IMLI benefits, and where IMLI
 //! is effective the local components' additional benefit shrinks.
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteResult, TextTable};
 
 fn figure(host: &str, base: &str, plus_l: &str, plus_i: &str, plus_il: &str) {
     let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for (suite_name, specs) in both_suites() {
-        let results: [SuiteResult; 4] = [
-            run_config(base, &specs),
-            run_config(plus_l, &specs),
-            run_config(plus_i, &specs),
-            run_config(plus_il, &specs),
-        ];
+        let results: [SuiteResult; 4] = run_configs(&[base, plus_l, plus_i, plus_il], &specs)
+            .try_into()
+            .expect("four configs in, four results out");
         for row in &results[0].rows {
             let bench = &row.benchmark;
             let get = |r: &SuiteResult| r.mpki_of(bench).expect("same suite");

@@ -6,24 +6,25 @@
 //! 2.473 to 2.373 and CBP3 from 3.902 to 3.733; SIC+OH reach 2.313 and
 //! 3.649.
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteComparison, TextTable};
 
 fn main() {
     println!("Figures 8-9: IMLI on TAGE-GSC\n");
     let mut all_rows: Vec<(String, f64, f64)> = Vec::new();
     for (suite_name, specs) in both_suites() {
-        let base = run_config("tage-gsc", &specs);
-        let sic = run_config("tage-gsc+sic", &specs);
-        let imli = run_config("tage-gsc+imli", &specs);
+        let [base, sic, imli]: [_; 3] =
+            run_configs(&["tage-gsc", "tage-gsc+sic", "tage-gsc+imli"], &specs)
+                .try_into()
+                .expect("three configs in, three results out");
         println!(
             "{suite_name}: base {:.3} | +SIC {:.3} | +SIC+OH {:.3} MPKI",
             base.mean_mpki(),
             sic.mean_mpki(),
             imli.mean_mpki()
         );
-        let sic_cmp = SuiteComparison::new(base.clone(), sic);
-        let imli_cmp = SuiteComparison::new(base, imli);
+        let sic_cmp = SuiteComparison::new(base.clone(), sic).expect("same suite");
+        let imli_cmp = SuiteComparison::new(base, imli).expect("same suite");
         for ((bench, d_sic), (_, d_imli)) in
             sic_cmp.reductions().into_iter().zip(imli_cmp.reductions())
         {

@@ -8,7 +8,7 @@
 //! perceptron — and shows the same flagship benchmarks benefitting on
 //! each.
 
-use bp_bench::{instruction_budget, run_config};
+use bp_bench::{instruction_budget, run_configs};
 use bp_sim::TextTable;
 use bp_workloads::cbp4_suite;
 
@@ -33,8 +33,9 @@ fn main() {
         ("gehl", "gehl+imli"),
         ("perceptron", "perceptron+imli"),
     ] {
-        let b = run_config(base, &suite);
-        let i = run_config(with_imli, &suite);
+        let [b, i]: [_; 2] = run_configs(&[base, with_imli], &suite)
+            .try_into()
+            .expect("two configs in, two results out");
         let mut cells = vec![
             base.to_owned(),
             format!("{:.3}", b.mean_mpki()),

@@ -6,7 +6,7 @@
 //! GEHL+WH on the most affected benchmarks (SPEC2K6-12, MM-4, CLIENT02,
 //! MM07).
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::TextTable;
 
 const FOCUS: [&str; 8] = [
@@ -23,11 +23,12 @@ const FOCUS: [&str; 8] = [
 fn main() {
     println!("E-OHWH / Figure 13: IMLI-OH vs WH (GEHL host)\n");
     for (suite_name, specs) in both_suites() {
-        let base = run_config("gehl", &specs);
-        let oh = run_config("gehl+oh", &specs);
-        let wh = run_config("gehl+wh", &specs);
-        let sic_wh = run_config("gehl+sic+wh", &specs);
-        let imli = run_config("gehl+imli", &specs);
+        let [base, oh, wh, sic_wh, imli]: [_; 5] = run_configs(
+            &["gehl", "gehl+oh", "gehl+wh", "gehl+sic+wh", "gehl+imli"],
+            &specs,
+        )
+        .try_into()
+        .expect("five configs in, five results out");
         println!(
             "{suite_name} means: base {:.3} | +OH {:.3} | +WH {:.3} | +SIC+WH {:.3} | +IMLI {:.3}",
             base.mean_mpki(),

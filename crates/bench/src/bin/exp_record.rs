@@ -5,24 +5,33 @@
 //! IMLI components reaches 2.228 MPKI — 5.8 % below the original's
 //! 2.365.
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::{make_predictor, TextTable};
 
 fn main() {
     println!("E-RECORD (§5): beating TAGE-SC-L with IMLI\n");
+    let configs = ["tage-sc-l", "tage-gsc+imli", "tage-sc-l+imli"];
+    // One engine grid per suite covering all three configurations.
+    let per_suite: Vec<Vec<f64>> = both_suites()
+        .iter()
+        .map(|(_, specs)| {
+            run_configs(&configs, specs)
+                .iter()
+                .map(|r| r.mean_mpki())
+                .collect()
+        })
+        .collect();
     let mut table = TextTable::new(vec!["predictor", "size (Kbit)", "CBP4 MPKI", "CBP3 MPKI"]);
     let mut means = Vec::new();
-    for config in ["tage-sc-l", "tage-gsc+imli", "tage-sc-l+imli"] {
+    for (i, config) in configs.iter().enumerate() {
         let storage = make_predictor(config).expect("registered").storage_bits();
-        let mut cells = vec![config.to_owned(), format!("{:.0}", storage as f64 / 1024.0)];
-        let mut pair = Vec::new();
-        for (_, specs) in both_suites() {
-            let mean = run_config(config, &specs).mean_mpki();
-            pair.push(mean);
-            cells.push(format!("{mean:.3}"));
-        }
-        means.push(pair);
-        table.row(cells);
+        table.row(vec![
+            (*config).to_owned(),
+            format!("{:.0}", storage as f64 / 1024.0),
+            format!("{:.3}", per_suite[0][i]),
+            format!("{:.3}", per_suite[1][i]),
+        ]);
+        means.push(vec![per_suite[0][i], per_suite[1][i]]);
     }
     println!("{table}");
     let scl = &means[0];

@@ -7,7 +7,7 @@
 //! 0.010 MPKI (CBP3) — SIC predicts constant inner-loop trip counts
 //! itself.
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::TextTable;
 
 fn main() {
@@ -22,10 +22,21 @@ fn main() {
         "loop benefit w/ SIC",
     ]);
     for (suite_name, specs) in both_suites() {
-        let base = run_config("tage-gsc", &specs).mean_mpki();
-        let sic = run_config("tage-gsc+sic", &specs).mean_mpki();
-        let lp = run_config("tage-gsc+loop", &specs).mean_mpki();
-        let sic_lp = run_config("tage-gsc+sic+loop", &specs).mean_mpki();
+        let results = run_configs(
+            &[
+                "tage-gsc",
+                "tage-gsc+sic",
+                "tage-gsc+loop",
+                "tage-gsc+sic+loop",
+            ],
+            &specs,
+        );
+        let [base, sic, lp, sic_lp]: [f64; 4] = results
+            .iter()
+            .map(|r| r.mean_mpki())
+            .collect::<Vec<_>>()
+            .try_into()
+            .expect("four configs in, four results out");
         table.row(vec![
             suite_name.to_owned(),
             format!("{base:.3}"),

@@ -13,28 +13,33 @@
 //! top of the base (the IMLI components capture part of the
 //! local-history correlation).
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::{make_predictor, TextTable};
 
 fn table_for(host: &str, configs: [(&str, &str); 4]) {
-    let suites = both_suites();
+    let names: Vec<&str> = configs.iter().map(|(_, c)| *c).collect();
+    // One engine grid per suite: all four configurations' cells are
+    // scheduled together.
+    let per_suite: Vec<Vec<f64>> = both_suites()
+        .iter()
+        .map(|(_, specs)| {
+            run_configs(&names, specs)
+                .iter()
+                .map(|r| r.mean_mpki())
+                .collect()
+        })
+        .collect();
     let mut table = TextTable::new(vec![host, "size (Kbit)", "CBP4", "CBP3"]);
     let mut means: Vec<(f64, f64)> = Vec::new();
-    for (label, config) in configs {
+    for (i, (label, config)) in configs.iter().enumerate() {
         let storage = make_predictor(config).expect("registered").storage_bits();
-        let mut cells = vec![label.to_owned(), format!("{:.0}", storage as f64 / 1024.0)];
-        let mut pair = (0.0, 0.0);
-        for (i, (_, specs)) in suites.iter().enumerate() {
-            let mean = run_config(config, specs).mean_mpki();
-            if i == 0 {
-                pair.0 = mean;
-            } else {
-                pair.1 = mean;
-            }
-            cells.push(format!("{mean:.3}"));
-        }
-        means.push(pair);
-        table.row(cells);
+        table.row(vec![
+            (*label).to_owned(),
+            format!("{:.0}", storage as f64 / 1024.0),
+            format!("{:.3}", per_suite[0][i]),
+            format!("{:.3}", per_suite[1][i]),
+        ]);
+        means.push((per_suite[0][i], per_suite[1][i]));
     }
     println!("{table}");
     let (base, l, i, il) = (means[0], means[1], means[2], means[3]);

@@ -5,7 +5,7 @@
 //! the eighty benchmarks: SPEC2K6-12 and MM-4 (CBP4), CLIENT02 and MM07
 //! (CBP3), with > 1.5 MPKI on the hard three.
 
-use bp_bench::{both_suites, run_config};
+use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteComparison, TextTable};
 
 fn main() {
@@ -13,9 +13,10 @@ fn main() {
     println!("paper: gains on exactly SPEC2K6-12, MM-4, CLIENT02, MM07\n");
     for (base, with_wh) in [("tage-gsc", "tage-gsc+wh"), ("gehl", "gehl+wh")] {
         for (suite_name, specs) in both_suites() {
-            let baseline = run_config(base, &specs);
-            let variant = run_config(with_wh, &specs);
-            let cmp = SuiteComparison::new(baseline, variant);
+            let [baseline, variant]: [_; 2] = run_configs(&[base, with_wh], &specs)
+                .try_into()
+                .expect("two configs in, two results out");
+            let cmp = SuiteComparison::new(baseline, variant).expect("same suite");
             println!(
                 "{} vs {} on {}: {:.3} -> {:.3} MPKI ({:+.1} %)",
                 base,

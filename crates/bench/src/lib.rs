@@ -10,11 +10,15 @@
 //! * suites are the synthetic CBP4-like/CBP3-like sets from
 //!   `bp-workloads`;
 //! * predictors are constructed through the `bp-sim` registry, so a
-//!   binary's output is reproducible from its name alone.
+//!   binary's output is reproducible from its name alone;
+//! * whole (configurations × suite) sweeps go through the parallel
+//!   [`bp_sim::Engine`] via [`run_configs`], which fans *all* cells out
+//!   at once — a binary comparing four configurations keeps every core
+//!   busy instead of parallelizing one configuration at a time.
 
 #![warn(missing_docs)]
 
-use bp_sim::{make_predictor, run_suite, SuiteResult};
+use bp_sim::{lookup, run_suite, Engine, PredictorSpec, SuiteResult};
 use bp_workloads::{cbp3_suite, cbp4_suite, BenchmarkSpec};
 
 /// Per-benchmark instruction budget (`IMLI_REPRO_INSTR`, default 2M).
@@ -37,9 +41,28 @@ pub fn both_suites() -> Vec<(&'static str, Vec<BenchmarkSpec>)> {
 ///
 /// Panics if `config` is not a registry name.
 pub fn run_config(config: &str, specs: &[BenchmarkSpec]) -> SuiteResult {
-    let factory =
-        move || make_predictor(config).unwrap_or_else(|| panic!("unknown predictor {config}"));
-    run_suite(&factory, specs, instruction_budget())
+    let spec = lookup(config).unwrap_or_else(|| panic!("unknown predictor {config}"));
+    run_suite(&spec.factory, specs, instruction_budget())
+}
+
+/// Runs several registry configurations over a suite at the standard
+/// budget as one engine grid — all (configuration × benchmark) cells
+/// are scheduled together, so the slowest configuration no longer
+/// serializes the sweep. Results come back in `configs` order.
+///
+/// # Panics
+///
+/// Panics if any name in `configs` is not a registry name.
+pub fn run_configs(configs: &[&str], specs: &[BenchmarkSpec]) -> Vec<SuiteResult> {
+    let predictors: Vec<PredictorSpec> = configs
+        .iter()
+        .map(|c| lookup(c).unwrap_or_else(|| panic!("unknown predictor {c}")))
+        .collect();
+    let grid = Engine::new().run_grid(&predictors, specs, instruction_budget());
+    configs
+        .iter()
+        .map(|c| grid.suite_result(c).expect("row for every config"))
+        .collect()
 }
 
 /// Formats a signed MPKI delta the way the paper quotes them
@@ -78,9 +101,27 @@ mod tests {
     fn run_config_smoke() {
         let specs: Vec<_> = cbp4_suite().into_iter().take(2).collect();
         let r = {
-            let factory = move || make_predictor("bimodal").expect("registered");
+            let factory = move || bp_sim::make_predictor("bimodal").expect("registered");
             bp_sim::run_suite(&factory, &specs, 20_000)
         };
         assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn run_configs_matches_per_config_runs() {
+        let specs: Vec<_> = cbp4_suite().into_iter().take(2).collect();
+        let both = {
+            let predictors: Vec<_> = ["bimodal", "gshare"]
+                .iter()
+                .map(|c| bp_sim::lookup(c).expect("registered"))
+                .collect();
+            let grid = Engine::new().run_grid(&predictors, &specs, 20_000);
+            ["bimodal", "gshare"].map(|c| grid.suite_result(c).expect("row"))
+        };
+        for (config, grid_result) in ["bimodal", "gshare"].iter().zip(both) {
+            let spec = bp_sim::lookup(config).expect("registered");
+            let solo = bp_sim::run_suite(&spec.factory, &specs, 20_000);
+            assert_eq!(solo.rows, grid_result.rows, "{config}");
+        }
     }
 }

@@ -1,0 +1,336 @@
+//! The parallel evaluation-grid engine.
+//!
+//! The paper's evaluation is a grid: predictor configurations ×
+//! benchmarks. [`Engine::run_grid`] fans the (predictor, benchmark)
+//! cells out across worker threads with *dynamic self-scheduling*: all
+//! workers pull cells from one shared lock-free queue (an atomic
+//! cursor), so an idle worker immediately steals the next unclaimed
+//! cell instead of idling behind a static partition — cells vary by
+//! an order of magnitude in cost (bimodal vs. TAGE-SC-L+IMLI), which
+//! makes static chunking badly unbalanced.
+//!
+//! Each cell generates its benchmark *lazily*
+//! ([`bp_workloads::BenchmarkSpec::stream`]) and simulates it with
+//! [`simulate_stream`], so per-worker memory stays O(1) in trace
+//! length: the whole grid needs `jobs × one-phase buffers`, never
+//! `jobs × whole traces`.
+//!
+//! Results are written back by cell index, so the returned grid is in
+//! deterministic (predictor-major) order regardless of worker count or
+//! scheduling: `run_grid` with 1 job and with N jobs return identical
+//! [`GridResult`]s.
+
+use crate::registry::PredictorSpec;
+use crate::run::{simulate_stream, SimResult};
+use crate::suite::SuiteResult;
+use bp_workloads::BenchmarkSpec;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Progress report delivered after each completed grid cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellUpdate<'a> {
+    /// Registry name of the cell's predictor configuration.
+    pub predictor: &'a str,
+    /// Benchmark name of the cell.
+    pub benchmark: &'a str,
+    /// The cell's MPKI.
+    pub mpki: f64,
+    /// Cells completed so far (including this one).
+    pub completed: usize,
+    /// Total cells in the grid.
+    pub total: usize,
+}
+
+/// The parallel grid runner. Construct with [`Engine::new`] (one worker
+/// per available core) or [`Engine::with_jobs`].
+#[derive(Debug, Clone)]
+pub struct Engine {
+    jobs: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with one worker per available core.
+    pub fn new() -> Self {
+        Engine {
+            jobs: std::thread::available_parallelism().map_or(4, NonZeroUsize::get),
+        }
+    }
+
+    /// An engine with exactly `jobs` workers (`jobs == 1` runs on the
+    /// calling thread; 0 is clamped to 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Engine { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs the full (predictor × benchmark) grid at `instructions`
+    /// retired instructions per benchmark, one fresh cold predictor per
+    /// cell (the CBP protocol).
+    pub fn run_grid(
+        &self,
+        predictors: &[PredictorSpec],
+        benchmarks: &[BenchmarkSpec],
+        instructions: u64,
+    ) -> GridResult {
+        self.run_grid_with_progress(predictors, benchmarks, instructions, &|_| {})
+    }
+
+    /// [`Engine::run_grid`] with a progress callback, invoked once per
+    /// completed cell (serialized — callbacks never run concurrently —
+    /// but in *completion* order, which varies with scheduling).
+    pub fn run_grid_with_progress(
+        &self,
+        predictors: &[PredictorSpec],
+        benchmarks: &[BenchmarkSpec],
+        instructions: u64,
+        progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+    ) -> GridResult {
+        let total = predictors.len() * benchmarks.len();
+        let cells = run_indexed(
+            self.jobs,
+            total,
+            |idx| {
+                let spec = &predictors[idx / benchmarks.len()];
+                let bench = &benchmarks[idx % benchmarks.len()];
+                let mut predictor = spec.make();
+                let result = simulate_stream(predictor.as_mut(), bench.stream(instructions));
+                let label = CellLabel {
+                    predictor: spec.name,
+                    benchmark: &bench.name,
+                };
+                (result, label)
+            },
+            progress,
+        );
+        GridResult {
+            predictors: predictors.iter().map(|s| s.name.to_owned()).collect(),
+            benchmarks: benchmarks.iter().map(|b| b.name.clone()).collect(),
+            cells,
+        }
+    }
+}
+
+/// What a cell closure reports about the cell it just ran; the
+/// scheduler combines it with its own completion bookkeeping to build
+/// the [`CellUpdate`] handed to progress callbacks.
+pub(crate) struct CellLabel<'a> {
+    pub(crate) predictor: &'a str,
+    pub(crate) benchmark: &'a str,
+}
+
+/// Runs `total` independent cells across `jobs` workers with dynamic
+/// self-scheduling, returning results in cell-index order. The worker
+/// closure returns the cell result plus its display label; completion
+/// counting happens here, under the collection lock, so progress
+/// callbacks observe a strictly increasing `completed`. Shared with
+/// [`crate::run_suite`], whose "grid" is one predictor row.
+pub(crate) fn run_indexed<'a, F>(
+    jobs: usize,
+    total: usize,
+    cell: F,
+    progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+) -> Vec<SimResult>
+where
+    F: Fn(usize) -> (SimResult, CellLabel<'a>) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, SimResult)>> = Mutex::new(Vec::with_capacity(total));
+    let worker = || loop {
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        if idx >= total {
+            break;
+        }
+        let (result, label) = cell(idx);
+        // One lock serializes the progress callback, makes `completed`
+        // monotonic, and collects the result.
+        let mut results = collected.lock().expect("results lock");
+        progress(CellUpdate {
+            predictor: label.predictor,
+            benchmark: label.benchmark,
+            mpki: result.mpki(),
+            completed: results.len() + 1,
+            total,
+        });
+        results.push((idx, result));
+    };
+    if jobs <= 1 || total <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(total) {
+                scope.spawn(worker);
+            }
+        });
+    }
+    let mut results = collected.into_inner().expect("results lock");
+    debug_assert_eq!(results.len(), total);
+    // Completion order depends on scheduling; cell-index order does not.
+    results.sort_unstable_by_key(|(idx, _)| *idx);
+    results.into_iter().map(|(_, result)| result).collect()
+}
+
+/// A completed evaluation grid: per-cell [`SimResult`]s in
+/// deterministic predictor-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult {
+    /// Registry names of the predictor rows, in input order.
+    pub predictors: Vec<String>,
+    /// Benchmark names of the columns, in input order.
+    pub benchmarks: Vec<String>,
+    /// Row-major cells: `cells[p * benchmarks.len() + b]`.
+    cells: Vec<SimResult>,
+}
+
+impl GridResult {
+    /// The cell for predictor row `p` and benchmark column `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cell(&self, p: usize, b: usize) -> &SimResult {
+        assert!(p < self.predictors.len() && b < self.benchmarks.len());
+        &self.cells[p * self.benchmarks.len() + b]
+    }
+
+    /// One predictor's row of per-benchmark results, in suite order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn row(&self, p: usize) -> &[SimResult] {
+        let w = self.benchmarks.len();
+        &self.cells[p * w..(p + 1) * w]
+    }
+
+    /// All cells, row-major.
+    pub fn cells(&self) -> &[SimResult] {
+        &self.cells
+    }
+
+    /// One predictor's row as a [`SuiteResult`] (the sequential API's
+    /// result type), by registry name.
+    pub fn suite_result(&self, predictor: &str) -> Option<SuiteResult> {
+        let p = self.predictors.iter().position(|n| n == predictor)?;
+        Some(SuiteResult {
+            predictor: self
+                .row(p)
+                .first()
+                .map_or_else(|| predictor.to_owned(), |r| r.predictor.clone()),
+            rows: self.row(p).to_vec(),
+        })
+    }
+
+    /// Mean MPKI of each predictor row, in row order, as
+    /// `(registry name, mean MPKI)`.
+    pub fn mean_mpki_rows(&self) -> Vec<(&str, f64)> {
+        self.predictors
+            .iter()
+            .enumerate()
+            .map(|(p, name)| {
+                let row = self.row(p);
+                let mean = if row.is_empty() {
+                    0.0
+                } else {
+                    row.iter().map(SimResult::mpki).sum::<f64>() / row.len() as f64
+                };
+                (name.as_str(), mean)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{lookup, registry, PredictorFamily};
+    use bp_workloads::cbp4_suite;
+    use std::sync::atomic::AtomicUsize;
+
+    fn small_grid() -> (Vec<PredictorSpec>, Vec<BenchmarkSpec>) {
+        let predictors: Vec<PredictorSpec> = ["bimodal", "gshare"]
+            .iter()
+            .map(|n| lookup(n).expect("registered"))
+            .collect();
+        let benchmarks: Vec<BenchmarkSpec> = cbp4_suite().into_iter().take(3).collect();
+        (predictors, benchmarks)
+    }
+
+    #[test]
+    fn grid_shape_and_ordering() {
+        let (predictors, benchmarks) = small_grid();
+        let grid = Engine::with_jobs(4).run_grid(&predictors, &benchmarks, 20_000);
+        assert_eq!(grid.predictors, vec!["bimodal", "gshare"]);
+        assert_eq!(grid.benchmarks.len(), 3);
+        assert_eq!(grid.cells().len(), 6);
+        for (p, name) in grid.predictors.iter().enumerate() {
+            for (b, bench) in grid.benchmarks.iter().enumerate() {
+                let cell = grid.cell(p, b);
+                assert_eq!(&cell.benchmark, bench);
+                let expected = lookup(name).unwrap().make().name().to_owned();
+                assert_eq!(cell.predictor, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential_grid() {
+        let (predictors, benchmarks) = small_grid();
+        let sequential = Engine::with_jobs(1).run_grid(&predictors, &benchmarks, 20_000);
+        let parallel = Engine::with_jobs(8).run_grid(&predictors, &benchmarks, 20_000);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn progress_fires_once_per_cell() {
+        let (predictors, benchmarks) = small_grid();
+        let fired = AtomicUsize::new(0);
+        let grid = Engine::with_jobs(3).run_grid_with_progress(
+            &predictors,
+            &benchmarks,
+            10_000,
+            &|update| {
+                fired.fetch_add(1, Ordering::Relaxed);
+                assert!(update.completed >= 1 && update.completed <= update.total);
+                assert_eq!(update.total, 6);
+            },
+        );
+        assert_eq!(fired.load(Ordering::Relaxed), 6);
+        assert_eq!(grid.cells().len(), 6);
+    }
+
+    #[test]
+    fn suite_result_bridge_matches_rows() {
+        let (predictors, benchmarks) = small_grid();
+        let grid = Engine::with_jobs(2).run_grid(&predictors, &benchmarks, 10_000);
+        let suite = grid.suite_result("gshare").expect("row exists");
+        assert_eq!(suite.rows, grid.row(1));
+        assert!(grid.suite_result("nope").is_none());
+        let means = grid.mean_mpki_rows();
+        assert_eq!(means.len(), 2);
+        assert!((means[1].1 - suite.mean_mpki()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_filtered_grids_run() {
+        let predictors = crate::registry::family_members(PredictorFamily::Baseline);
+        let benchmarks: Vec<BenchmarkSpec> = cbp4_suite().into_iter().take(2).collect();
+        let grid = Engine::new().run_grid(&predictors, &benchmarks, 10_000);
+        assert_eq!(grid.cells().len(), 4);
+        assert!(Engine::new().jobs() >= 1);
+        assert_eq!(Engine::with_jobs(0).jobs(), 1);
+        // Sanity: registry() is the full grid's row source.
+        assert!(registry().len() >= 20);
+    }
+}

@@ -5,11 +5,18 @@
 //! (immediate update, §3) and reports **MPKI** — mispredictions per kilo
 //! instruction, the paper's accuracy metric.
 //!
-//! * [`simulate`] / [`Mpki`] — single benchmark runs;
+//! * [`simulate`] / [`simulate_stream`] / [`Mpki`] — single benchmark
+//!   runs, over materialized traces or any
+//!   [`bp_trace::BranchStream`] in O(1) memory;
+//! * [`Engine`] — the parallel (predictor × benchmark) grid runner:
+//!   dynamic self-scheduling across worker threads, lazy per-cell
+//!   generation, deterministic grid-ordered results, progress
+//!   callbacks;
 //! * [`run_suite`] / [`SuiteResult`] — whole-suite runs (parallelized
 //!   across benchmarks) and suite-vs-suite comparisons;
 //! * [`registry`] — every named predictor configuration of the paper's
-//!   evaluation, constructible by string name;
+//!   evaluation as a structured [`PredictorSpec`] (name, family, paper
+//!   reference, factory), constructible by string name;
 //! * [`speculative_imli_fidelity`] — the speculation-repair harness
 //!   behind the paper's §4.2.1/§4.3.2 complexity argument;
 //! * [`MispredictionProfile`] — per-static-branch misprediction
@@ -20,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod engine;
 mod registry;
 mod run;
 mod speculative;
@@ -27,8 +35,12 @@ mod suite;
 mod table;
 
 pub use analysis::{learning_curve, BranchProfile, MispredictionProfile};
-pub use registry::{make_predictor, registry, PredictorFactory};
-pub use run::{simulate, Mpki, SimResult};
+pub use engine::{CellUpdate, Engine, GridResult};
+pub use registry::{
+    family_members, lookup, make_predictor, registry, PredictorFactory, PredictorFamily,
+    PredictorSpec,
+};
+pub use run::{simulate, simulate_stream, Mpki, SimResult};
 pub use speculative::{speculative_imli_fidelity, SpeculationReport};
-pub use suite::{run_suite, SuiteComparison, SuiteResult};
+pub use suite::{run_suite, SuiteComparison, SuiteMismatchError, SuiteResult};
 pub use table::TextTable;

@@ -6,9 +6,104 @@ use bp_gehl::Gehl;
 use bp_perceptron::HashedPerceptron;
 use bp_tage::TageSc;
 use bp_wormhole::WormholeAugmented;
+use std::fmt;
 
 /// A factory producing fresh predictor instances.
 pub type PredictorFactory = fn() -> Box<dyn ConditionalPredictor + Send>;
+
+/// The host family a registered configuration belongs to — the grouping
+/// the paper's tables use (Table 1 is the TAGE family, Table 2 the
+/// GEHL/FTL family, §1's generality claim the perceptron family, plus
+/// the calibration baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredictorFamily {
+    /// TAGE hosts (TAGE-GSC, TAGE-SC-L and their IMLI/WH/loop variants).
+    Tage,
+    /// GEHL and FTL hosts.
+    Gehl,
+    /// Hashed-perceptron hosts.
+    Perceptron,
+    /// Calibration baselines (gshare, bimodal).
+    Baseline,
+}
+
+impl PredictorFamily {
+    /// All families, in table order.
+    pub const ALL: [PredictorFamily; 4] = [
+        PredictorFamily::Tage,
+        PredictorFamily::Gehl,
+        PredictorFamily::Perceptron,
+        PredictorFamily::Baseline,
+    ];
+}
+
+impl fmt::Display for PredictorFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PredictorFamily::Tage => "tage",
+            PredictorFamily::Gehl => "gehl",
+            PredictorFamily::Perceptron => "perceptron",
+            PredictorFamily::Baseline => "baseline",
+        })
+    }
+}
+
+/// One registered predictor configuration: its registry name, host
+/// family, the paper section/table it reproduces, and a factory for
+/// fresh instances.
+#[derive(Clone)]
+pub struct PredictorSpec {
+    /// Registry name, e.g. `"tage-gsc+imli"`.
+    pub name: &'static str,
+    /// Host family (for grid filtering and table grouping).
+    pub family: PredictorFamily,
+    /// Where in the paper this configuration appears.
+    pub paper_ref: &'static str,
+    /// Builds a fresh, cold instance.
+    pub factory: PredictorFactory,
+}
+
+impl PredictorSpec {
+    const fn new(
+        name: &'static str,
+        family: PredictorFamily,
+        paper_ref: &'static str,
+        factory: PredictorFactory,
+    ) -> Self {
+        PredictorSpec {
+            name,
+            family,
+            paper_ref,
+            factory,
+        }
+    }
+
+    /// Constructs a fresh, cold predictor instance.
+    pub fn make(&self) -> Box<dyn ConditionalPredictor + Send> {
+        (self.factory)()
+    }
+
+    /// Storage budget of this configuration in bits (constructs a
+    /// throwaway instance; budgets are static per configuration).
+    pub fn storage_bits(&self) -> u64 {
+        self.make().storage_bits()
+    }
+
+    /// Storage budget in Kbit, the unit the paper quotes.
+    pub fn storage_kbit(&self) -> f64 {
+        self.storage_bits() as f64 / 1024.0
+    }
+}
+
+impl fmt::Debug for PredictorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PredictorSpec")
+            .field("name", &self.name)
+            .field("family", &self.family)
+            .field("paper_ref", &self.paper_ref)
+            .finish_non_exhaustive()
+    }
+}
 
 /// The registry of named predictor configurations.
 ///
@@ -26,49 +121,110 @@ pub type PredictorFactory = fn() -> Box<dyn ConditionalPredictor + Send>;
 /// | `ftl`, `ftl+imli` | Table 2 "+L" / "+I+L" |
 /// | `perceptron`, `perceptron+imli`, `perceptron+wh` | generality check: the §1 claim that IMLI plugs into any neural-inspired predictor |
 /// | `gshare`, `bimodal` | calibration baselines |
-pub fn registry() -> Vec<(&'static str, PredictorFactory)> {
+pub fn registry() -> Vec<PredictorSpec> {
+    use PredictorFamily::{Baseline, Gehl as GehlF, Perceptron, Tage};
     vec![
-        ("tage-gsc", || Box::new(TageSc::tage_gsc())),
-        ("tage-gsc+sic", || Box::new(TageSc::tage_gsc_sic())),
-        ("tage-gsc+oh", || {
+        PredictorSpec::new("tage-gsc", Tage, "§3.2.1 base (Table 1 \"Base\")", || {
+            Box::new(TageSc::tage_gsc())
+        }),
+        PredictorSpec::new("tage-gsc+sic", Tage, "§4.2.2 IMLI-SIC alone", || {
+            Box::new(TageSc::tage_gsc_sic())
+        }),
+        PredictorSpec::new("tage-gsc+oh", Tage, "IMLI-OH alone (Figure 13)", || {
             Box::new(TageSc::new(bp_tage::TageScConfig::gsc_oh_only()))
         }),
-        ("tage-gsc+imli", || Box::new(TageSc::tage_gsc_imli())),
-        ("tage-gsc+wh", || {
+        PredictorSpec::new("tage-gsc+imli", Tage, "Table 1 \"+I\"", || {
+            Box::new(TageSc::tage_gsc_imli())
+        }),
+        PredictorSpec::new("tage-gsc+wh", Tage, "§3.3 TAGE-GSC+WH", || {
             Box::new(WormholeAugmented::new(TageSc::tage_gsc()))
         }),
-        ("tage-gsc+sic+wh", || {
-            Box::new(WormholeAugmented::new(TageSc::tage_gsc_sic()))
+        PredictorSpec::new(
+            "tage-gsc+sic+wh",
+            Tage,
+            "§4.3 WH on top of IMLI-SIC",
+            || Box::new(WormholeAugmented::new(TageSc::tage_gsc_sic())),
+        ),
+        PredictorSpec::new(
+            "tage-gsc+loop",
+            Tage,
+            "§4.2.2 loop-predictor ablation",
+            || Box::new(TageSc::new(bp_tage::TageScConfig::gsc_loop())),
+        ),
+        PredictorSpec::new(
+            "tage-gsc+sic+loop",
+            Tage,
+            "§4.2.2 SIC + loop-predictor ablation",
+            || Box::new(TageSc::new(bp_tage::TageScConfig::gsc_sic_loop())),
+        ),
+        PredictorSpec::new("tage-sc-l", Tage, "Table 1 \"+L\"", || {
+            Box::new(TageSc::tage_sc_l())
         }),
-        ("tage-gsc+loop", || {
-            Box::new(TageSc::new(bp_tage::TageScConfig::gsc_loop()))
+        PredictorSpec::new(
+            "tage-sc-l+imli",
+            Tage,
+            "Table 1 \"+I+L\" / §5 record",
+            || Box::new(TageSc::tage_sc_l_imli()),
+        ),
+        PredictorSpec::new("gehl", GehlF, "Table 2 base", || Box::new(Gehl::gehl())),
+        PredictorSpec::new("gehl+sic", GehlF, "Figures 10-11", || {
+            Box::new(Gehl::gehl_sic())
         }),
-        ("tage-gsc+sic+loop", || {
-            Box::new(TageSc::new(bp_tage::TageScConfig::gsc_sic_loop()))
+        PredictorSpec::new("gehl+oh", GehlF, "Figures 12-13", || {
+            Box::new(Gehl::gehl_oh())
         }),
-        ("tage-sc-l", || Box::new(TageSc::tage_sc_l())),
-        ("tage-sc-l+imli", || Box::new(TageSc::tage_sc_l_imli())),
-        ("gehl", || Box::new(Gehl::gehl())),
-        ("gehl+sic", || Box::new(Gehl::gehl_sic())),
-        ("gehl+oh", || Box::new(Gehl::gehl_oh())),
-        ("gehl+imli", || Box::new(Gehl::gehl_imli())),
-        ("gehl+wh", || Box::new(WormholeAugmented::new(Gehl::gehl()))),
-        ("gehl+sic+wh", || {
+        PredictorSpec::new("gehl+imli", GehlF, "Table 2 \"+I\"", || {
+            Box::new(Gehl::gehl_imli())
+        }),
+        PredictorSpec::new("gehl+wh", GehlF, "Figures 12-13 (WH)", || {
+            Box::new(WormholeAugmented::new(Gehl::gehl()))
+        }),
+        PredictorSpec::new("gehl+sic+wh", GehlF, "§4.3 WH on top of IMLI-SIC", || {
             Box::new(WormholeAugmented::new(Gehl::gehl_sic()))
         }),
-        ("ftl", || Box::new(Gehl::ftl())),
-        ("ftl+imli", || Box::new(Gehl::ftl_imli())),
-        ("perceptron", || Box::new(HashedPerceptron::base())),
-        (
+        PredictorSpec::new("ftl", GehlF, "Table 2 \"+L\"", || Box::new(Gehl::ftl())),
+        PredictorSpec::new("ftl+imli", GehlF, "Table 2 \"+I+L\"", || {
+            Box::new(Gehl::ftl_imli())
+        }),
+        PredictorSpec::new("perceptron", Perceptron, "§1 generality base", || {
+            Box::new(HashedPerceptron::base())
+        }),
+        PredictorSpec::new(
             "perceptron+imli",
+            Perceptron,
+            "§1 generality \"+I\"",
             || Box::new(HashedPerceptron::with_imli()),
         ),
-        ("perceptron+wh", || {
+        PredictorSpec::new("perceptron+wh", Perceptron, "§1 generality (WH)", || {
             Box::new(WormholeAugmented::new(HashedPerceptron::base()))
         }),
-        ("gshare", || Box::new(GShare::new(14, 12))),
-        ("bimodal", || Box::new(Bimodal::new(16384))),
+        PredictorSpec::new("gshare", Baseline, "calibration baseline", || {
+            Box::new(GShare::new(14, 12))
+        }),
+        PredictorSpec::new("bimodal", Baseline, "calibration baseline", || {
+            Box::new(Bimodal::new(16384))
+        }),
     ]
+}
+
+/// Looks a configuration up by registry name.
+///
+/// ```
+/// use bp_sim::{lookup, PredictorFamily};
+/// let spec = lookup("tage-gsc+imli").expect("registered");
+/// assert_eq!(spec.family, PredictorFamily::Tage);
+/// assert!(lookup("nope").is_none());
+/// ```
+pub fn lookup(name: &str) -> Option<PredictorSpec> {
+    registry().into_iter().find(|spec| spec.name == name)
+}
+
+/// All registered configurations of one family, in registry order.
+pub fn family_members(family: PredictorFamily) -> Vec<PredictorSpec> {
+    registry()
+        .into_iter()
+        .filter(|spec| spec.family == family)
+        .collect()
 }
 
 /// Constructs a fresh predictor by registry name, or `None` for unknown
@@ -81,10 +237,7 @@ pub fn registry() -> Vec<(&'static str, PredictorFactory)> {
 /// assert!(make_predictor("nope").is_none());
 /// ```
 pub fn make_predictor(name: &str) -> Option<Box<dyn ConditionalPredictor + Send>> {
-    registry()
-        .into_iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, f)| f())
+    lookup(name).map(|spec| spec.make())
 }
 
 #[cfg(test)]
@@ -93,17 +246,17 @@ mod tests {
 
     #[test]
     fn all_registered_predictors_construct_and_predict() {
-        for (name, factory) in registry() {
-            let mut p = factory();
+        for spec in registry() {
+            let mut p = spec.make();
             let _ = p.predict(0x4000);
             p.update(&bp_trace::BranchRecord::conditional(0x4000, 0x4100, true));
-            assert!(p.storage_bits() > 0 || name == "always-taken", "{name}");
+            assert!(p.storage_bits() > 0, "{} has an empty budget", spec.name);
         }
     }
 
     #[test]
     fn registry_names_are_unique() {
-        let mut names: Vec<&str> = registry().into_iter().map(|(n, _)| n).collect();
+        let mut names: Vec<&str> = registry().into_iter().map(|s| s.name).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();
@@ -112,7 +265,7 @@ mod tests {
 
     #[test]
     fn storage_budgets_follow_the_paper_ordering() {
-        let bits = |name: &str| make_predictor(name).unwrap().storage_bits();
+        let bits = |name: &str| lookup(name).unwrap().storage_bits();
         // Table 1 ordering: Base < +I < +L < +I+L.
         assert!(bits("tage-gsc") < bits("tage-gsc+imli"));
         assert!(bits("tage-gsc+imli") < bits("tage-sc-l"));
@@ -123,11 +276,40 @@ mod tests {
         assert!(bits("ftl") < bits("ftl+imli"));
         // GEHL base is exactly 204 Kbit.
         assert_eq!(bits("gehl"), 204 * 1024);
+        assert!((lookup("gehl").unwrap().storage_kbit() - 204.0).abs() < 1e-9);
     }
 
     #[test]
     fn lookup_by_name() {
         assert!(make_predictor("gehl+wh").is_some());
         assert!(make_predictor("unknown").is_none());
+        assert!(lookup("gshare").is_some());
+    }
+
+    #[test]
+    fn families_partition_the_registry() {
+        let total: usize = PredictorFamily::ALL
+            .iter()
+            .map(|&f| family_members(f).len())
+            .sum();
+        assert_eq!(total, registry().len());
+        assert!(family_members(PredictorFamily::Tage).len() >= 10);
+        assert_eq!(family_members(PredictorFamily::Baseline).len(), 2);
+        assert!(family_members(PredictorFamily::Gehl)
+            .iter()
+            .all(|s| s.name.starts_with("gehl") || s.name.starts_with("ftl")));
+    }
+
+    #[test]
+    fn specs_carry_paper_references() {
+        for spec in registry() {
+            assert!(
+                !spec.paper_ref.is_empty(),
+                "{} lacks a paper ref",
+                spec.name
+            );
+        }
+        let debug = format!("{:?}", lookup("gehl").unwrap());
+        assert!(debug.contains("gehl") && debug.contains("Gehl"));
     }
 }

@@ -1,7 +1,7 @@
 //! Single-benchmark simulation.
 
 use bp_components::{ConditionalPredictor, PredictorStats};
-use bp_trace::Trace;
+use bp_trace::{BranchStream, Trace};
 use std::fmt;
 
 /// The result of simulating one predictor over one benchmark trace.
@@ -87,21 +87,43 @@ impl fmt::Display for Mpki {
 ///
 /// The predictor is *not* reset — callers wanting cold-start behaviour
 /// construct a fresh predictor per trace (as [`crate::run_suite`] does).
+///
+/// Thin wrapper over [`simulate_stream`] for callers that already hold a
+/// materialized [`Trace`].
 pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
+    simulate_stream(predictor, trace.stream())
+}
+
+/// Simulates `predictor` over any [`BranchStream`] with the CBP
+/// protocol, consuming the stream record-by-record.
+///
+/// This is the simulator's native entry point: paired with a streaming
+/// producer (`bp_workloads::stream_benchmark`, `bp_trace::TraceReader`)
+/// it runs a benchmark of any length in O(1) memory. Produces
+/// bit-identical [`SimResult`]s to [`simulate`] on the materialized
+/// equivalent of the same stream.
+pub fn simulate_stream<P, S>(predictor: &mut P, mut stream: S) -> SimResult
+where
+    P: ConditionalPredictor + ?Sized,
+    S: BranchStream,
+{
+    let benchmark = stream.name().to_owned();
     let mut stats = PredictorStats::default();
-    for record in trace.iter() {
+    let mut instructions = 0u64;
+    while let Some(record) = stream.next_record() {
+        instructions += record.instructions();
         if record.is_conditional() {
             let pred = predictor.predict(record.pc);
             stats.record(pred == record.taken);
-            predictor.update(record);
+            predictor.update(&record);
         } else {
-            predictor.notify_nonconditional(record);
+            predictor.notify_nonconditional(&record);
         }
     }
     SimResult {
-        benchmark: trace.name().to_owned(),
+        benchmark,
         predictor: predictor.name().to_owned(),
-        instructions: trace.instruction_count(),
+        instructions,
         stats,
     }
 }
@@ -164,5 +186,13 @@ mod tests {
     fn mpki_handles_empty() {
         assert_eq!(Mpki::from_counts(5, 0).value(), 0.0);
         assert_eq!(format!("{}", Mpki::from_counts(1, 1000)), "1.000");
+    }
+
+    #[test]
+    fn streamed_and_materialized_results_are_identical() {
+        let trace = biased_trace(500, false);
+        let materialized = simulate(&mut Bimodal::new(64), &trace);
+        let streamed = simulate_stream(&mut Bimodal::new(64), trace.stream());
+        assert_eq!(materialized, streamed);
     }
 }

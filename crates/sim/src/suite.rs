@@ -1,9 +1,11 @@
 //! Whole-suite simulation and suite-vs-suite comparison.
 
-use crate::run::{simulate, SimResult};
+use crate::engine::{run_indexed, CellLabel};
+use crate::run::{simulate_stream, SimResult};
 use bp_components::ConditionalPredictor;
-use bp_workloads::{generate, BenchmarkSpec};
+use bp_workloads::BenchmarkSpec;
 use std::fmt;
+use std::num::NonZeroUsize;
 
 /// Results of one predictor configuration over a whole benchmark suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,27 +56,62 @@ pub struct SuiteComparison {
     pub variant: SuiteResult,
 }
 
+/// The error returned by [`SuiteComparison::new`] when the two results
+/// do not cover the identical benchmark list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteMismatchError {
+    /// Benchmark names of the baseline result, in order.
+    pub baseline: Vec<String>,
+    /// Benchmark names of the variant result, in order.
+    pub variant: Vec<String>,
+}
+
+impl fmt::Display for SuiteMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let first_diff = self
+            .baseline
+            .iter()
+            .zip(&self.variant)
+            .position(|(b, v)| b != v);
+        write!(
+            f,
+            "comparison requires identical benchmark lists: baseline has {} benchmarks, \
+             variant has {}",
+            self.baseline.len(),
+            self.variant.len()
+        )?;
+        if let Some(i) = first_diff {
+            write!(
+                f,
+                "; first divergence at index {i} ({:?} vs {:?})",
+                self.baseline[i], self.variant[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SuiteMismatchError {}
+
 impl SuiteComparison {
     /// Builds a comparison.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the two results cover different benchmark lists.
-    pub fn new(baseline: SuiteResult, variant: SuiteResult) -> Self {
-        assert_eq!(
-            baseline
-                .rows
-                .iter()
-                .map(|r| &r.benchmark)
-                .collect::<Vec<_>>(),
-            variant
-                .rows
-                .iter()
-                .map(|r| &r.benchmark)
-                .collect::<Vec<_>>(),
-            "comparison requires identical benchmark lists"
-        );
-        SuiteComparison { baseline, variant }
+    /// Returns a [`SuiteMismatchError`] describing the divergence if
+    /// the two results cover different benchmark lists.
+    pub fn new(baseline: SuiteResult, variant: SuiteResult) -> Result<Self, SuiteMismatchError> {
+        let names = |r: &SuiteResult| -> Vec<String> {
+            r.rows.iter().map(|row| row.benchmark.clone()).collect()
+        };
+        let (b, v) = (names(&baseline), names(&variant));
+        if b != v {
+            return Err(SuiteMismatchError {
+                baseline: b,
+                variant: v,
+            });
+        }
+        Ok(SuiteComparison { baseline, variant })
     }
 
     /// Per-benchmark MPKI reduction (baseline − variant; positive =
@@ -109,32 +146,34 @@ impl SuiteComparison {
 }
 
 /// Runs a predictor configuration over a suite: a *fresh* predictor per
-/// benchmark (cold start, as in CBP), traces generated at
-/// `instructions` retired instructions each. Benchmarks are simulated in
-/// parallel across available cores.
+/// benchmark (cold start, as in CBP), each benchmark generated lazily
+/// at `instructions` retired instructions and simulated in O(1) memory.
+/// Benchmarks are fanned out across available cores with the engine's
+/// dynamic scheduler (see [`crate::Engine`]); results come back in
+/// suite order regardless of worker count.
 pub fn run_suite(
     factory: &(dyn Fn() -> Box<dyn ConditionalPredictor + Send> + Sync),
     specs: &[BenchmarkSpec],
     instructions: u64,
 ) -> SuiteResult {
-    let threads = std::thread::available_parallelism().map_or(4, usize::from);
-    let mut rows: Vec<Option<SimResult>> = vec![None; specs.len()];
-    let chunk = specs.len().div_ceil(threads.max(1));
-    std::thread::scope(|scope| {
-        for (specs_chunk, rows_chunk) in specs.chunks(chunk).zip(rows.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (spec, slot) in specs_chunk.iter().zip(rows_chunk.iter_mut()) {
-                    let trace = generate(spec, instructions);
-                    let mut predictor = factory();
-                    *slot = Some(simulate(predictor.as_mut(), &trace));
-                }
-            });
-        }
-    });
-    let rows: Vec<SimResult> = rows
-        .into_iter()
-        .map(|r| r.expect("every benchmark simulated"))
-        .collect();
+    let jobs = std::thread::available_parallelism().map_or(4, NonZeroUsize::get);
+    let rows = run_indexed(
+        jobs,
+        specs.len(),
+        |idx| {
+            let spec = &specs[idx];
+            let mut predictor = factory();
+            let result = simulate_stream(predictor.as_mut(), spec.stream(instructions));
+            // A suite run is one predictor row; factory-made predictors
+            // have no registry name to label cells with.
+            let label = CellLabel {
+                predictor: "",
+                benchmark: &spec.name,
+            };
+            (result, label)
+        },
+        &|_| {},
+    );
     let predictor = rows
         .first()
         .map_or_else(String::new, |r| r.predictor.clone());
@@ -191,7 +230,7 @@ mod tests {
                 fake_result("c", 4),
             ],
         };
-        let cmp = SuiteComparison::new(base, var);
+        let cmp = SuiteComparison::new(base, var).expect("same benchmark lists");
         let top = cmp.top_benefitting(2);
         assert_eq!(top[0].0, "b");
         assert!((top[0].1 - 20.0).abs() < 1e-9);
@@ -200,17 +239,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "identical benchmark lists")]
-    fn comparison_requires_same_benchmarks() {
+    fn comparison_rejects_different_benchmarks_with_context() {
+        let a = SuiteResult {
+            predictor: "a".into(),
+            rows: vec![fake_result("x", 1), fake_result("z", 1)],
+        };
+        let b = SuiteResult {
+            predictor: "b".into(),
+            rows: vec![fake_result("x", 1), fake_result("y", 1)],
+        };
+        let err = SuiteComparison::new(a, b).unwrap_err();
+        assert_eq!(err.baseline, vec!["x", "z"]);
+        assert_eq!(err.variant, vec!["x", "y"]);
+        let msg = format!("{err}");
+        assert!(msg.contains("identical benchmark lists"), "{msg}");
+        assert!(msg.contains("index 1"), "{msg}");
+        assert!(msg.contains("\"z\"") && msg.contains("\"y\""), "{msg}");
+    }
+
+    #[test]
+    fn comparison_rejects_length_mismatch() {
         let a = SuiteResult {
             predictor: "a".into(),
             rows: vec![fake_result("x", 1)],
         };
         let b = SuiteResult {
             predictor: "b".into(),
-            rows: vec![fake_result("y", 1)],
+            rows: vec![],
         };
-        let _ = SuiteComparison::new(a, b);
+        let err = SuiteComparison::new(a, b).unwrap_err();
+        assert!(format!("{err}").contains("1 benchmarks"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! ```
 
 use crate::record::{BranchKind, BranchRecord};
+use crate::stream::BranchStream;
 use crate::trace::Trace;
 use std::error::Error;
 use std::fmt;
@@ -19,6 +20,9 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BPTR";
 const VERSION: u32 = 1;
+/// Sanity cap on the header's name length: a corrupt stream must hit
+/// the error path, not a multi-gigabyte allocation.
+const MAX_NAME_LEN: u32 = 1 << 20;
 
 /// Errors produced while reading or writing a serialized trace.
 #[derive(Debug)]
@@ -31,6 +35,9 @@ pub enum TraceIoError {
     UnsupportedVersion(u32),
     /// The trace name is not valid UTF-8.
     BadName,
+    /// The header declares an implausibly long trace name (corrupt
+    /// stream guard: the length would otherwise be allocated blindly).
+    NameTooLong(u32),
     /// A record used an unknown [`BranchKind`] code.
     BadKind(u8),
     /// A record's taken flag was neither 0 nor 1.
@@ -44,6 +51,12 @@ impl fmt::Display for TraceIoError {
             TraceIoError::BadMagic(m) => write!(f, "bad trace magic {m:?}"),
             TraceIoError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceIoError::BadName => write!(f, "trace name is not valid utf-8"),
+            TraceIoError::NameTooLong(n) => {
+                write!(
+                    f,
+                    "trace name length {n} exceeds the {MAX_NAME_LEN}-byte cap"
+                )
+            }
             TraceIoError::BadKind(c) => write!(f, "unknown branch kind code {c}"),
             TraceIoError::BadTakenFlag(c) => write!(f, "invalid taken flag {c}"),
         }
@@ -88,51 +101,171 @@ pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIo
     Ok(())
 }
 
-/// Deserializes a trace previously written by [`write_trace`].
+/// Deserializes a trace previously written by [`write_trace`],
+/// materializing every record in memory.
 ///
-/// A `&mut` reference can be passed as the reader.
+/// A `&mut` reference can be passed as the reader. For simulation over
+/// large files, prefer [`TraceReader`], which yields records one at a
+/// time in O(1) memory; this function is a thin collect wrapper over it.
 ///
 /// # Errors
 ///
 /// Returns a [`TraceIoError`] if the stream is truncated, corrupt, or uses
 /// an unsupported version.
-pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
-    let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(TraceIoError::BadMagic(magic));
+pub fn read_trace<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    let mut stream = TraceReader::new(reader)?;
+    let mut trace = Trace::with_capacity(stream.name().to_owned(), stream.remaining().min(1 << 24));
+    while let Some(record) = stream.try_next()? {
+        trace.push(record);
     }
-    let version = read_u32(&mut reader)?;
-    if version != VERSION {
-        return Err(TraceIoError::UnsupportedVersion(version));
+    Ok(trace)
+}
+
+/// Streaming reader over a serialized trace: parses the header eagerly,
+/// then yields records one at a time, so a multi-gigabyte trace file
+/// simulates in O(1) memory.
+///
+/// `TraceReader` implements [`BranchStream`] and can therefore be fed
+/// straight to the simulator. Because [`BranchStream::next_record`]
+/// cannot surface I/O failures, a mid-stream error *ends* the stream
+/// and is stashed where [`TraceReader::error`] (or the fallible
+/// [`TraceReader::try_next`]) can observe it; callers that must
+/// distinguish truncation from clean end-of-trace check `error()` after
+/// draining.
+///
+/// ```
+/// use bp_trace::{write_trace, BranchRecord, BranchStream, Trace, TraceReader};
+///
+/// let mut trace = Trace::new("on-disk");
+/// trace.push(BranchRecord::conditional(0x40, 0x20, true));
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &trace).unwrap();
+///
+/// let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+/// assert_eq!(reader.name(), "on-disk");
+/// assert_eq!(reader.remaining(), 1);
+/// let first = reader.next_record().unwrap();
+/// assert_eq!(first.pc, 0x40);
+/// assert!(reader.next_record().is_none());
+/// assert!(reader.error().is_none());
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    name: String,
+    remaining: usize,
+    error: Option<TraceIoError>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a serialized trace, parsing and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceIoError`] if the header is truncated, carries the
+    /// wrong magic, an unsupported version, or a non-UTF-8 name.
+    pub fn new(mut reader: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceIoError::BadMagic(magic));
+        }
+        let version = read_u32(&mut reader)?;
+        if version != VERSION {
+            return Err(TraceIoError::UnsupportedVersion(version));
+        }
+        let name_len = read_u32(&mut reader)?;
+        if name_len > MAX_NAME_LEN {
+            return Err(TraceIoError::NameTooLong(name_len));
+        }
+        let name_len = name_len as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        reader.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| TraceIoError::BadName)?;
+        let remaining = read_u64(&mut reader)? as usize;
+        Ok(TraceReader {
+            reader,
+            name,
+            remaining,
+            error: None,
+        })
     }
-    let name_len = read_u32(&mut reader)? as usize;
-    let mut name_bytes = vec![0u8; name_len];
-    reader.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8(name_bytes).map_err(|_| TraceIoError::BadName)?;
-    let count = read_u64(&mut reader)? as usize;
-    let mut trace = Trace::with_capacity(name, count.min(1 << 24));
-    for _ in 0..count {
-        let pc = read_u64(&mut reader)?;
-        let target = read_u64(&mut reader)?;
+
+    /// Records still to be read (from the header count, decremented per
+    /// record).
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The mid-stream error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&TraceIoError> {
+        self.error.as_ref()
+    }
+
+    /// Reads the next record, surfacing I/O and format errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceIoError`] if the stream is truncated or a record
+    /// is corrupt; the stream yields nothing further afterwards.
+    pub fn try_next(&mut self) -> Result<Option<BranchRecord>, TraceIoError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.read_record() {
+            Ok(record) => {
+                self.remaining -= 1;
+                Ok(Some(record))
+            }
+            Err(e) => {
+                self.remaining = 0;
+                Err(e)
+            }
+        }
+    }
+
+    fn read_record(&mut self) -> Result<BranchRecord, TraceIoError> {
+        let pc = read_u64(&mut self.reader)?;
+        let target = read_u64(&mut self.reader)?;
         let mut flags = [0u8; 2];
-        reader.read_exact(&mut flags)?;
+        self.reader.read_exact(&mut flags)?;
         let kind = BranchKind::from_code(flags[0]).ok_or(TraceIoError::BadKind(flags[0]))?;
         let taken = match flags[1] {
             0 => false,
             1 => true,
             other => return Err(TraceIoError::BadTakenFlag(other)),
         };
-        let leading = read_u32(&mut reader)?;
-        trace.push(BranchRecord {
+        let leading = read_u32(&mut self.reader)?;
+        Ok(BranchRecord {
             pc,
             target,
             kind,
             taken,
             leading_instructions: leading,
-        });
+        })
     }
-    Ok(trace)
+}
+
+impl<R: Read> BranchStream for TraceReader<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_record(&mut self) -> Option<BranchRecord> {
+        match self.try_next() {
+            Ok(record) => record,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // The header count is a claim, not a guarantee (the file may be
+        // truncated), so it only bounds from above.
+        (0, Some(self.remaining))
+    }
 }
 
 fn read_u32<R: Read>(reader: &mut R) -> Result<u32, TraceIoError> {
@@ -225,5 +358,51 @@ mod tests {
         let err = read_trace(buf.as_slice()).unwrap_err();
         assert!(matches!(err, TraceIoError::Io(_)));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn absurd_name_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BPTR");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::NameTooLong(u32::MAX)));
+        assert!(format!("{err}").contains("cap"));
+    }
+
+    #[test]
+    fn streaming_reader_matches_materializing_reader() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.remaining(), t.len());
+        let streamed = reader.collect_trace();
+        assert_eq!(streamed, t);
+    }
+
+    #[test]
+    fn streaming_reader_stashes_truncation_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut read = 0;
+        while reader.next_record().is_some() {
+            read += 1;
+        }
+        assert_eq!(read, 2, "last record is cut off");
+        assert!(matches!(reader.error(), Some(TraceIoError::Io(_))));
+        // try_next after the failure reports a clean end.
+        assert!(matches!(reader.try_next(), Ok(None)));
+    }
+
+    #[test]
+    fn streaming_reader_size_hint_is_upper_bound_only() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(BranchStream::size_hint(&reader), (0, Some(3)));
     }
 }

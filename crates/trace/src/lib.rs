@@ -9,6 +9,26 @@
 //! observes the program counter, the branch kind, the taken/not-taken
 //! outcome, and the target.
 //!
+//! # Streaming versus materialized traces
+//!
+//! The simulator consumes the [`BranchStream`] trait — a named source of
+//! records pulled one at a time — rather than `Vec<BranchRecord>`, so
+//! benchmarks of any length simulate in O(1) memory. Three producers
+//! implement it:
+//!
+//! * [`Trace::stream`] — a cursor over an in-memory [`Trace`] (the
+//!   materialized representation, still the right tool for analyses
+//!   that need random access or multiple passes);
+//! * [`TraceReader`] — a streaming reader over serialized trace files
+//!   (the [`write_trace`] format), which never loads the whole file;
+//! * `bp_workloads::stream_benchmark` — lazy synthetic-benchmark
+//!   generation (in the workloads crate).
+//!
+//! Streams are single-pass; every producer in the workspace is
+//! deterministic, so constructing a fresh stream replays the identical
+//! record sequence. [`BranchStream::collect_trace`] materializes any
+//! stream back into a [`Trace`].
+//!
 //! # Example
 //!
 //! ```
@@ -28,9 +48,11 @@
 mod io;
 mod record;
 mod stats;
+mod stream;
 mod trace;
 
-pub use io::{read_trace, write_trace, TraceIoError};
+pub use io::{read_trace, write_trace, TraceIoError, TraceReader};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{KindCounts, TraceStats};
+pub use stream::{BranchStream, Records, TraceStream};
 pub use trace::{Trace, TraceIter};

@@ -2,6 +2,7 @@
 
 use crate::record::BranchRecord;
 use crate::stats::TraceStats;
+use crate::stream::TraceStream;
 use std::fmt;
 
 /// An in-memory branch trace: a named, ordered sequence of
@@ -21,6 +22,9 @@ use std::fmt;
 pub struct Trace {
     name: String,
     records: Vec<BranchRecord>,
+    // Running sum of `BranchRecord::instructions`, maintained by `push`
+    // so `instruction_count` is O(1) on the generation hot path.
+    instructions: u64,
 }
 
 impl Trace {
@@ -29,6 +33,7 @@ impl Trace {
         Trace {
             name: name.into(),
             records: Vec::new(),
+            instructions: 0,
         }
     }
 
@@ -37,6 +42,7 @@ impl Trace {
         Trace {
             name: name.into(),
             records: Vec::with_capacity(n),
+            instructions: 0,
         }
     }
 
@@ -53,6 +59,7 @@ impl Trace {
     /// Appends one record.
     #[inline]
     pub fn push(&mut self, record: BranchRecord) {
+        self.instructions += record.instructions();
         self.records.push(record);
     }
 
@@ -78,10 +85,17 @@ impl Trace {
         }
     }
 
+    /// Opens a streaming cursor over the records (see
+    /// [`BranchStream`](crate::BranchStream)).
+    pub fn stream(&self) -> TraceStream<'_> {
+        TraceStream::new(&self.name, &self.records)
+    }
+
     /// Total retired instructions represented by the trace (branches plus
-    /// leading non-branch instructions).
+    /// leading non-branch instructions). O(1): the sum is maintained
+    /// incrementally by [`Trace::push`].
     pub fn instruction_count(&self) -> u64 {
-        self.records.iter().map(BranchRecord::instructions).sum()
+        self.instructions
     }
 
     /// Number of conditional branch records (the denominator of
@@ -103,16 +117,17 @@ impl Trace {
 
 impl Extend<BranchRecord> for Trace {
     fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
-        self.records.extend(iter);
+        for record in iter {
+            self.push(record);
+        }
     }
 }
 
 impl FromIterator<BranchRecord> for Trace {
     fn from_iter<T: IntoIterator<Item = BranchRecord>>(iter: T) -> Self {
-        Trace {
-            name: String::new(),
-            records: iter.into_iter().collect(),
-        }
+        let mut trace = Trace::new(String::new());
+        trace.extend(iter);
+        trace
     }
 }
 

@@ -1,6 +1,7 @@
 //! Parameterized branch-behaviour kernels.
 
-use bp_trace::{BranchRecord, Trace};
+use crate::sink::RecordSink;
+use bp_trace::BranchRecord;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -197,18 +198,23 @@ impl Kernel {
         self.nest.as_mut().expect("just initialized")
     }
 
-    /// Emits records into `trace` until roughly `instruction_budget`
+    /// Emits records into `sink` until roughly `instruction_budget`
     /// instructions have been produced by this call.
-    pub fn run(&mut self, rng: &mut StdRng, trace: &mut Trace, instruction_budget: u64) {
-        let start = trace.instruction_count();
-        while trace.instruction_count() - start < instruction_budget {
-            self.run_once(rng, trace);
+    pub fn run<S: RecordSink + ?Sized>(
+        &mut self,
+        rng: &mut StdRng,
+        sink: &mut S,
+        instruction_budget: u64,
+    ) {
+        let start = sink.instructions_emitted();
+        while sink.instructions_emitted() - start < instruction_budget {
+            self.run_once(rng, sink);
         }
     }
 
     /// Emits one "round" of the kernel (one outer iteration for nests,
     /// one sweep for flat kernels).
-    fn run_once(&mut self, rng: &mut StdRng, trace: &mut Trace) {
+    fn run_once<S: RecordSink + ?Sized>(&mut self, rng: &mut StdRng, sink: &mut S) {
         match self.spec.clone() {
             KernelSpec::SameIteration {
                 trip,
@@ -219,9 +225,7 @@ impl Kernel {
                 let trips = trip.draw(rng);
                 let state = self.nest_state(rng, max);
                 let pattern = state.pattern.clone();
-                self.emit_nest(rng, trace, trips, noise_branches, |m, _| {
-                    pattern[m as usize]
-                });
+                self.emit_nest(rng, sink, trips, noise_branches, |m, _| pattern[m as usize]);
                 if rng.gen_bool(drift) {
                     let state = self.nest.as_mut().expect("nest initialized");
                     let slot = rng.gen_range(0..state.pattern.len());
@@ -239,7 +243,7 @@ impl Kernel {
                 let state = self.nest_state(rng, len);
                 let phase = state.phase;
                 let pattern = state.pattern.clone();
-                self.emit_nest(rng, trace, trip, noise_branches, |m, _| {
+                self.emit_nest(rng, sink, trip, noise_branches, |m, _| {
                     pattern[(phase + m as usize) % len]
                 });
                 let state = self.nest.as_mut().expect("nest initialized");
@@ -257,9 +261,7 @@ impl Kernel {
             } => {
                 let state = self.nest_state(rng, trip as usize);
                 let pattern = state.pattern.clone();
-                self.emit_nest(rng, trace, trip, noise_branches, |m, _| {
-                    !pattern[m as usize]
-                });
+                self.emit_nest(rng, sink, trip, noise_branches, |m, _| !pattern[m as usize]);
                 let state = self.nest.as_mut().expect("nest initialized");
                 for slot in state.pattern.iter_mut() {
                     *slot = !*slot;
@@ -284,19 +286,19 @@ impl Kernel {
                     // same-iteration branch, the nested branch is the
                     // hard one.
                     let guard = (m * 7 + 3) % 10 < guard_threshold;
-                    trace.push(
+                    sink.push_record(
                         BranchRecord::conditional(guard_pc, guard_pc + 0x40, guard)
                             .with_leading_instructions(BODY_WORK),
                     );
                     if guard {
                         // The nested branch: executes only some
                         // iterations, outcome keyed to m.
-                        trace.push(
+                        sink.push_record(
                             BranchRecord::conditional(body_pc, body_pc + 0x40, pattern[m as usize])
                                 .with_leading_instructions(2),
                         );
                     }
-                    trace.push(
+                    sink.push_record(
                         BranchRecord::conditional(back_pc, self.pc_base, m + 1 < trips)
                             .with_leading_instructions(2),
                     );
@@ -311,7 +313,7 @@ impl Kernel {
                 for (i, &t) in trips.iter().enumerate() {
                     let pc = self.pc(i as u64);
                     for m in 0..t {
-                        trace.push(
+                        sink.push_record(
                             BranchRecord::conditional(pc, self.pc_base, m + 1 < t)
                                 .with_leading_instructions(BODY_WORK),
                         );
@@ -326,12 +328,12 @@ impl Kernel {
                 for m in 0..trip {
                     for j in 0..noise_branches {
                         let pc = self.pc(40 + j as u64);
-                        trace.push(
+                        sink.push_record(
                             BranchRecord::conditional(pc, pc + 0x40, rng.gen_bool(0.85))
                                 .with_leading_instructions(4),
                         );
                     }
-                    trace.push(
+                    sink.push_record(
                         BranchRecord::conditional(back_pc, self.pc_base, m + 1 < trip)
                             .with_leading_instructions(4),
                     );
@@ -340,15 +342,19 @@ impl Kernel {
             KernelSpec::Biased { probabilities } => {
                 for (i, &p) in probabilities.iter().enumerate() {
                     let pc = self.pc(i as u64);
-                    trace.push(
+                    sink.push_record(
                         BranchRecord::conditional(pc, pc + 0x80, rng.gen_bool(p))
                             .with_leading_instructions(BODY_WORK),
                     );
                 }
                 // A sprinkle of non-conditional control flow for realism.
                 let callee = self.pc(100);
-                trace.push(BranchRecord::call(self.pc(90), callee).with_leading_instructions(2));
-                trace.push(BranchRecord::ret(callee + 8, self.pc(91)).with_leading_instructions(3));
+                sink.push_record(
+                    BranchRecord::call(self.pc(90), callee).with_leading_instructions(2),
+                );
+                sink.push_record(
+                    BranchRecord::ret(callee + 8, self.pc(91)).with_leading_instructions(3),
+                );
             }
             KernelSpec::GlobalCorrelated { lag } => {
                 // Long-period source pattern: hard for short histories,
@@ -364,14 +370,14 @@ impl Kernel {
                 self.outcome_queue.push(source);
                 let a_pc = self.pc(0);
                 let b_pc = self.pc(1);
-                trace.push(
+                sink.push_record(
                     BranchRecord::conditional(a_pc, a_pc + 0x80, source)
                         .with_leading_instructions(BODY_WORK),
                 );
                 // Filler branches between correlator and correlated.
                 for f in 0..lag.saturating_sub(1) {
                     let pc = self.pc(10 + f as u64);
-                    trace.push(
+                    sink.push_record(
                         BranchRecord::conditional(pc, pc + 0x80, f % 2 == 0)
                             .with_leading_instructions(1),
                     );
@@ -381,7 +387,7 @@ impl Kernel {
                 } else {
                     source
                 };
-                trace.push(
+                sink.push_record(
                     BranchRecord::conditional(b_pc, b_pc + 0x80, delayed)
                         .with_leading_instructions(2),
                 );
@@ -398,7 +404,7 @@ impl Kernel {
                     let pos = self.period_positions[i];
                     let taken = pos < duty.min(periods[i] - 1);
                     self.period_positions[i] = (pos + 1) % periods[i];
-                    trace.push(
+                    sink.push_record(
                         BranchRecord::conditional(pc, pc + 0x80, taken)
                             .with_leading_instructions(BODY_WORK),
                     );
@@ -413,7 +419,7 @@ impl Kernel {
                 for i in 0..branches {
                     let pc = self.pc(i as u64);
                     let taken = rng.gen_bool(self.irregular_bias[i].clamp(0.01, 0.99));
-                    trace.push(
+                    sink.push_record(
                         BranchRecord::conditional(pc, pc + 0x80, taken)
                             .with_leading_instructions(BODY_WORK),
                     );
@@ -425,10 +431,10 @@ impl Kernel {
     /// Emits one outer iteration of a 2-D nest: per inner iteration, the
     /// body branch (outcome from `body`), `noise` random branches, and
     /// the loop-closing backward branch.
-    fn emit_nest<F: Fn(u32, &mut StdRng) -> bool>(
+    fn emit_nest<S: RecordSink + ?Sized, F: Fn(u32, &mut StdRng) -> bool>(
         &mut self,
         rng: &mut StdRng,
-        trace: &mut Trace,
+        sink: &mut S,
         trips: u32,
         noise: usize,
         body: F,
@@ -437,7 +443,7 @@ impl Kernel {
         let back_pc = self.pc(1);
         for m in 0..trips {
             let taken = body(m, rng);
-            trace.push(
+            sink.push_record(
                 BranchRecord::conditional(body_pc, body_pc + 0x40, taken)
                     .with_leading_instructions(BODY_WORK),
             );
@@ -445,12 +451,12 @@ impl Kernel {
                 // Mostly-taken data-dependent branch: pollutes global
                 // history without dominating the misprediction count.
                 let pc = self.pc(40 + j as u64);
-                trace.push(
+                sink.push_record(
                     BranchRecord::conditional(pc, pc + 0x40, rng.gen_bool(0.82))
                         .with_leading_instructions(3),
                 );
             }
-            trace.push(
+            sink.push_record(
                 BranchRecord::conditional(back_pc, self.pc_base, m + 1 < trips)
                     .with_leading_instructions(3),
             );
@@ -461,6 +467,7 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bp_trace::Trace;
     use rand::SeedableRng;
 
     fn run_spec(spec: KernelSpec, budget: u64) -> Trace {

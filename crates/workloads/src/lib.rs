@@ -25,6 +25,11 @@
 //! reproduces the paper's shape. Everything is deterministic given the
 //! per-benchmark seed.
 //!
+//! Benchmarks can be materialized ([`generate`] → `Trace`) or streamed
+//! lazily in O(1) memory ([`stream_benchmark`] /
+//! [`BenchmarkSpec::stream`] → [`BenchmarkStream`]); the two paths
+//! share one kernel scheduler and produce identical record sequences.
+//!
 //! ```
 //! use bp_workloads::{cbp4_suite, generate};
 //! let suite = cbp4_suite();
@@ -36,9 +41,13 @@
 #![warn(missing_docs)]
 
 mod kernels;
+mod sink;
 mod spec;
+mod stream;
 mod suites;
 
 pub use kernels::{Kernel, KernelSpec, TripCount};
+pub use sink::RecordSink;
 pub use spec::{generate, BenchmarkSpec};
+pub use stream::{stream_benchmark, BenchmarkStream};
 pub use suites::{cbp3_suite, cbp4_suite, find_benchmark, quick_benchmark, suite_by_name};

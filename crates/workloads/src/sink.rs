@@ -1,0 +1,49 @@
+//! Where generated records go.
+//!
+//! Kernels emit through the [`RecordSink`] trait instead of pushing
+//! into a concrete [`Trace`], so the same kernel code serves both the
+//! materializing path ([`generate`](crate::generate) collects into a
+//! `Trace`) and the streaming path
+//! ([`stream_benchmark`](crate::stream_benchmark) hands records out one
+//! at a time from a bounded buffer).
+
+use bp_trace::{BranchRecord, Trace};
+
+/// A destination for generated branch records.
+///
+/// `instructions_emitted` must be O(1) and monotonically track every
+/// record pushed — the kernel scheduler uses it for its per-phase
+/// instruction budgets.
+pub trait RecordSink {
+    /// Accepts one generated record.
+    fn push_record(&mut self, record: BranchRecord);
+
+    /// Total retired instructions across all records pushed so far.
+    fn instructions_emitted(&self) -> u64;
+}
+
+impl RecordSink for Trace {
+    #[inline]
+    fn push_record(&mut self, record: BranchRecord) {
+        self.push(record);
+    }
+
+    #[inline]
+    fn instructions_emitted(&self) -> u64 {
+        self.instruction_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_a_sink() {
+        let mut t = Trace::new("sink");
+        t.push_record(BranchRecord::conditional(0x10, 0x8, true).with_leading_instructions(4));
+        t.push_record(BranchRecord::call(0x20, 0x100));
+        assert_eq!(t.instructions_emitted(), 5 + 1);
+        assert_eq!(t.len(), 2);
+    }
+}

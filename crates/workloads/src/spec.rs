@@ -1,9 +1,8 @@
 //! Benchmark specifications: named, seeded kernel mixes.
 
-use crate::kernels::{Kernel, KernelSpec};
+use crate::kernels::KernelSpec;
+use crate::stream::BenchmarkStream;
 use bp_trace::Trace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A named synthetic benchmark: a weighted mix of kernels plus a seed.
 ///
@@ -39,54 +38,39 @@ impl BenchmarkSpec {
             seed,
         }
     }
+
+    /// Opens a lazy record stream for this benchmark — the O(1)-memory
+    /// path (see [`BenchmarkStream`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec was constructed manually with an empty kernel
+    /// list.
+    pub fn stream(&self, instructions: u64) -> BenchmarkStream {
+        BenchmarkStream::new(self, instructions)
+    }
 }
 
 /// Instructions emitted per generation phase (per unit weight).
-const PHASE_INSTRUCTIONS: u64 = 4_000;
+pub(crate) const PHASE_INSTRUCTIONS: u64 = 4_000;
 
 /// Generates the benchmark's trace with (at least) `instructions`
-/// retired instructions.
+/// retired instructions, fully materialized in memory.
 ///
 /// Deterministic: the same spec and instruction budget always produce
-/// the identical trace.
+/// the identical trace. This is a thin collect wrapper over
+/// [`BenchmarkSpec::stream`] — simulation paths that do not need random
+/// access should consume the stream directly and skip the O(n)
+/// allocation.
 ///
 /// # Panics
 ///
 /// Panics under the same conditions as [`BenchmarkSpec::new`] if the
 /// spec was constructed manually with an empty kernel list.
 pub fn generate(spec: &BenchmarkSpec, instructions: u64) -> Trace {
-    assert!(!spec.kernels.is_empty(), "benchmark needs kernels");
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xB5AD_4ECE_DA1C_E2A9);
-    // Every kernel instance gets a disjoint PC region so cross-kernel
-    // aliasing is structural (via table indexing), not accidental.
-    let mut kernels: Vec<(Kernel, f64)> = spec
-        .kernels
-        .iter()
-        .enumerate()
-        .map(|(i, (k, w))| (k.instantiate(0x40_0000 + (i as u64) * 0x1_0000), *w))
-        .collect();
     let est = (instructions as usize / 5).min(1 << 26);
     let mut trace = Trace::with_capacity(spec.name.clone(), est);
-    while trace.instruction_count() < instructions {
-        // Weighted phase schedule: kernels run in index order with
-        // weight-scaled budgets; a shuffled visit order varies phase
-        // boundaries between rounds.
-        let order = {
-            let mut idx: Vec<usize> = (0..kernels.len()).collect();
-            for i in (1..idx.len()).rev() {
-                idx.swap(i, rng.gen_range(0..=i));
-            }
-            idx
-        };
-        for i in order {
-            let (kernel, weight) = &mut kernels[i];
-            let budget = (PHASE_INSTRUCTIONS as f64 * *weight) as u64;
-            kernel.run(&mut rng, &mut trace, budget.max(500));
-            if trace.instruction_count() >= instructions {
-                break;
-            }
-        }
-    }
+    trace.extend(spec.stream(instructions));
     trace
 }
 

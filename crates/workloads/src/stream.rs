@@ -1,0 +1,274 @@
+//! Lazy, O(1)-memory benchmark generation.
+//!
+//! [`BenchmarkStream`] drives the same kernel scheduler as
+//! [`generate`](crate::generate) — identical RNG, identical phase
+//! order, identical records — but buffers only the *current kernel
+//! phase* (a few thousand instructions) instead of the whole trace, so
+//! a 100M-instruction benchmark streams through the simulator in
+//! constant memory.
+
+use crate::kernels::Kernel;
+use crate::sink::RecordSink;
+use crate::spec::{BenchmarkSpec, PHASE_INSTRUCTIONS};
+use bp_trace::{BranchRecord, BranchStream};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One kernel phase's worth of pending records.
+///
+/// `instructions` is *cumulative over the whole stream* (never reset),
+/// because the kernel scheduler budgets phases against the running
+/// total — exactly like `Trace::instruction_count()` on the
+/// materializing path.
+#[derive(Debug, Default)]
+struct PhaseBuffer {
+    records: VecDeque<BranchRecord>,
+    instructions: u64,
+}
+
+impl RecordSink for PhaseBuffer {
+    #[inline]
+    fn push_record(&mut self, record: BranchRecord) {
+        self.instructions += record.instructions();
+        self.records.push_back(record);
+    }
+
+    #[inline]
+    fn instructions_emitted(&self) -> u64 {
+        self.instructions
+    }
+}
+
+/// Lazily generated benchmark records (see the module docs).
+///
+/// Implements both [`BranchStream`] (what the simulator consumes) and
+/// [`Iterator`]. The stream is deterministic: two streams from the same
+/// spec and instruction budget yield identical record sequences, and
+/// both are record-for-record identical to
+/// [`generate`](crate::generate) — which is now literally a
+/// `collect()` of this stream.
+///
+/// ```
+/// use bp_trace::BranchStream;
+/// use bp_workloads::{cbp4_suite, generate, stream_benchmark};
+///
+/// let spec = &cbp4_suite()[0];
+/// let materialized = generate(spec, 30_000);
+/// let streamed: Vec<_> = stream_benchmark(spec, 30_000).collect();
+/// assert_eq!(materialized.records(), streamed.as_slice());
+/// ```
+#[derive(Debug)]
+pub struct BenchmarkStream {
+    name: String,
+    rng: StdRng,
+    kernels: Vec<(Kernel, f64)>,
+    target_instructions: u64,
+    buffer: PhaseBuffer,
+    /// Shuffled kernel visit order of the current round, and the next
+    /// position in it.
+    order: Vec<usize>,
+    pos: usize,
+    exhausted: bool,
+}
+
+impl BenchmarkStream {
+    /// Opens a stream producing at least `instructions` retired
+    /// instructions of `spec`'s kernel mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec was constructed manually with an empty kernel
+    /// list.
+    pub fn new(spec: &BenchmarkSpec, instructions: u64) -> Self {
+        assert!(!spec.kernels.is_empty(), "benchmark needs kernels");
+        let rng = StdRng::seed_from_u64(spec.seed ^ 0xB5AD_4ECE_DA1C_E2A9);
+        // Every kernel instance gets a disjoint PC region so cross-kernel
+        // aliasing is structural (via table indexing), not accidental.
+        let kernels: Vec<(Kernel, f64)> = spec
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(i, (k, w))| (k.instantiate(0x40_0000 + (i as u64) * 0x1_0000), *w))
+            .collect();
+        BenchmarkStream {
+            name: spec.name.clone(),
+            rng,
+            kernels,
+            target_instructions: instructions,
+            buffer: PhaseBuffer::default(),
+            order: Vec::new(),
+            pos: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Instructions generated so far (including records still buffered).
+    pub fn instructions_generated(&self) -> u64 {
+        self.buffer.instructions
+    }
+
+    /// Runs one kernel phase into the buffer, or marks the stream
+    /// exhausted. Mirrors the weighted phase schedule of the
+    /// materializing generator: kernels run in a per-round shuffled
+    /// order with weight-scaled budgets until the instruction target is
+    /// reached.
+    fn refill(&mut self) {
+        if self.pos >= self.order.len() {
+            if self.buffer.instructions >= self.target_instructions {
+                self.exhausted = true;
+                return;
+            }
+            let mut idx: Vec<usize> = (0..self.kernels.len()).collect();
+            for i in (1..idx.len()).rev() {
+                idx.swap(i, self.rng.gen_range(0..=i));
+            }
+            self.order = idx;
+            self.pos = 0;
+        }
+        let i = self.order[self.pos];
+        self.pos += 1;
+        let (kernel, weight) = &mut self.kernels[i];
+        let budget = (PHASE_INSTRUCTIONS as f64 * *weight) as u64;
+        kernel.run(&mut self.rng, &mut self.buffer, budget.max(500));
+        if self.buffer.instructions >= self.target_instructions {
+            self.exhausted = true;
+        }
+    }
+}
+
+impl BranchStream for BenchmarkStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_record(&mut self) -> Option<BranchRecord> {
+        loop {
+            if let Some(record) = self.buffer.records.pop_front() {
+                return Some(record);
+            }
+            if self.exhausted {
+                return None;
+            }
+            self.refill();
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let buffered = self.buffer.records.len();
+        if self.exhausted {
+            (buffered, Some(buffered))
+        } else {
+            (buffered, None)
+        }
+    }
+}
+
+impl Iterator for BenchmarkStream {
+    type Item = BranchRecord;
+
+    fn next(&mut self) -> Option<BranchRecord> {
+        self.next_record()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        BranchStream::size_hint(self)
+    }
+}
+
+/// Opens a lazy record stream for `spec` (see [`BenchmarkStream`]).
+pub fn stream_benchmark(spec: &BenchmarkSpec, instructions: u64) -> BenchmarkStream {
+    BenchmarkStream::new(spec, instructions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{KernelSpec, TripCount};
+    use crate::spec::generate;
+
+    fn sample_spec() -> BenchmarkSpec {
+        BenchmarkSpec::new(
+            "stream-sample",
+            11,
+            vec![
+                (
+                    KernelSpec::Biased {
+                        probabilities: vec![0.9, 0.2],
+                    },
+                    1.0,
+                ),
+                (
+                    KernelSpec::SameIteration {
+                        trip: TripCount::Variable { min: 4, max: 24 },
+                        drift: 0.2,
+                        noise_branches: 1,
+                    },
+                    2.0,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn stream_matches_materialized_generation_exactly() {
+        let spec = sample_spec();
+        let materialized = generate(&spec, 150_000);
+        let streamed: Vec<BranchRecord> = stream_benchmark(&spec, 150_000).collect();
+        assert_eq!(materialized.records(), streamed.as_slice());
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let spec = sample_spec();
+        let a: Vec<BranchRecord> = stream_benchmark(&spec, 60_000).collect();
+        let b: Vec<BranchRecord> = stream_benchmark(&spec, 60_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_reaches_instruction_target() {
+        let mut stream = stream_benchmark(&sample_spec(), 90_000);
+        let mut instructions = 0u64;
+        while let Some(r) = stream.next_record() {
+            instructions += r.instructions();
+        }
+        assert!(instructions >= 90_000);
+        // Does not wildly overshoot (one kernel phase at most).
+        assert!(instructions < 120_000);
+        assert_eq!(instructions, stream.instructions_generated());
+    }
+
+    #[test]
+    fn buffer_stays_bounded_by_one_phase() {
+        // The whole point: buffered records never approach the trace
+        // length. The largest phase here is 2.0 * 4000 = 8000
+        // instructions; with ~3 instructions per record that is < 4096
+        // records, while the full trace holds hundreds of thousands.
+        let mut stream = stream_benchmark(&sample_spec(), 1_000_000);
+        let mut peak_buffered = 0usize;
+        let mut total = 0usize;
+        while stream.next_record().is_some() {
+            peak_buffered = peak_buffered.max(stream.buffer.records.len());
+            total += 1;
+        }
+        assert!(total > 100_000, "trace is long: {total}");
+        assert!(
+            peak_buffered < 8_000,
+            "buffer bounded by one phase, got {peak_buffered}"
+        );
+    }
+
+    #[test]
+    fn zero_instruction_target_is_empty() {
+        let mut stream = stream_benchmark(&sample_spec(), 0);
+        assert!(stream.next_record().is_none());
+        assert_eq!(BranchStream::size_hint(&stream), (0, Some(0)));
+    }
+
+    #[test]
+    fn stream_name_matches_spec() {
+        let stream = stream_benchmark(&sample_spec(), 1_000);
+        assert_eq!(stream.name(), "stream-sample");
+    }
+}

@@ -28,10 +28,13 @@ fn main() {
         .collect();
 
     let mut rows: Vec<(String, f64, u64)> = Vec::new();
-    for (name, factory) in registry() {
-        let result = run_suite(&factory, &suite, 400_000);
-        let storage = factory().storage_bits();
-        rows.push((name.to_owned(), result.mean_mpki(), storage));
+    for spec in registry() {
+        let result = run_suite(&spec.factory, &suite, 400_000);
+        rows.push((
+            spec.name.to_owned(),
+            result.mean_mpki(),
+            spec.storage_bits(),
+        ));
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
 

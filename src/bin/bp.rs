@@ -11,20 +11,28 @@
 //! bp profile <config> <bench> [instr] [top]
 //!                               per-static-branch misprediction profile
 //! bp compare <bench> [instr]    all registered predictors on one benchmark
+//! bp grid <suite> [--jobs N] [--json] [--instr N]
+//!         [--family F] [--predictors a,b,c]
+//!                               the full (predictor × benchmark) grid on
+//!                               the parallel engine
 //! ```
 
-use imli_repro::sim::{make_predictor, registry, simulate, MispredictionProfile, TextTable};
+use imli_repro::sim::{
+    family_members, lookup, make_predictor, registry, simulate, Engine, MispredictionProfile,
+    PredictorFamily, PredictorSpec, TextTable,
+};
 use imli_repro::trace::{read_trace, write_trace, Trace};
-use imli_repro::workloads::{cbp3_suite, cbp4_suite, find_benchmark, generate};
+use imli_repro::workloads::{cbp3_suite, cbp4_suite, find_benchmark, generate, suite_by_name};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bp list (benchmarks|predictors)\n  bp generate <bench> <instr> <file>\n  \
          bp simulate <config> <bench-or-file> [instr]\n  bp profile <config> <bench> [instr] [top]\n  \
-         bp compare <bench> [instr]"
+         bp compare <bench> [instr]\n  \
+         bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c]"
     );
     ExitCode::FAILURE
 }
@@ -52,13 +60,16 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
             Ok(())
         }
         ["list", "predictors"] => {
-            let mut table = TextTable::new(vec!["name", "configuration", "Kbit"]);
-            for (name, factory) in registry() {
-                let p = factory();
+            let mut table =
+                TextTable::new(vec!["name", "family", "configuration", "Kbit", "paper"]);
+            for spec in registry() {
+                let p = spec.make();
                 table.row(vec![
-                    name.to_owned(),
+                    spec.name.to_owned(),
+                    spec.family.to_string(),
                     p.name().to_owned(),
-                    format!("{:.0}", p.storage_bits() as f64 / 1024.0),
+                    format!("{:.0}", spec.storage_kbit()),
+                    spec.paper_ref.to_owned(),
                 ]);
             }
             println!("{table}");
@@ -123,6 +134,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
             println!("{table}");
             Ok(())
         }
+        ["grid", suite, ..] => run_grid(suite, &args[2..]),
         ["compare", bench] | ["compare", bench, _] => {
             let instructions = args
                 .get(2)
@@ -132,9 +144,9 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
             let trace = load_trace(bench, instructions)?;
             let mut rows: Vec<(String, f64)> = registry()
                 .into_iter()
-                .map(|(name, factory)| {
-                    let mut p = factory();
-                    (name.to_owned(), simulate(p.as_mut(), &trace).mpki())
+                .map(|spec| {
+                    let mut p = spec.make();
+                    (spec.name.to_owned(), simulate(p.as_mut(), &trace).mpki())
                 })
                 .collect();
             rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
@@ -148,6 +160,172 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
         _ => return Ok(None),
     }
     .map(Some)
+}
+
+/// Parses and runs `bp grid <suite> [--jobs N] [--json] [--instr N]
+/// [--family F] [--predictors a,b,c]`.
+fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
+    let benchmarks = suite_by_name(suite_name)
+        .ok_or_else(|| format!("unknown suite {suite_name} (try cbp4 or cbp3)"))?;
+
+    let mut jobs: Option<usize> = None;
+    let mut json = false;
+    let mut instructions: u64 = 1_000_000;
+    let mut predictors: Vec<PredictorSpec> = registry();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a {what}"))
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                let v = value("worker count")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad worker count: {v}"))?,
+                );
+            }
+            "--instr" => {
+                instructions = parse_u64(value("instruction count")?, "instruction count")?;
+            }
+            "--json" => json = true,
+            "--family" => {
+                let v = value("family name")?;
+                let family = PredictorFamily::ALL
+                    .into_iter()
+                    .find(|f| f.to_string() == v.to_ascii_lowercase())
+                    .ok_or_else(|| {
+                        format!("unknown family {v} (tage, gehl, perceptron, baseline)")
+                    })?;
+                predictors = family_members(family);
+            }
+            "--predictors" => {
+                let v = value("comma-separated list")?;
+                predictors = v
+                    .split(',')
+                    .map(|name| {
+                        lookup(name.trim()).ok_or_else(|| {
+                            format!(
+                                "unknown predictor {} (try `bp list predictors`)",
+                                name.trim()
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown grid flag {other}")),
+        }
+    }
+
+    let engine = jobs.map_or_else(Engine::new, Engine::with_jobs);
+    let started = std::time::Instant::now();
+    let show_progress = !json;
+    let grid = engine.run_grid_with_progress(&predictors, &benchmarks, instructions, &|update| {
+        if show_progress {
+            eprint!(
+                "\r[{}/{}] {} on {} ({:.3} MPKI)          ",
+                update.completed, update.total, update.predictor, update.benchmark, update.mpki
+            );
+            let _ = std::io::stderr().flush();
+        }
+    });
+    let elapsed = started.elapsed();
+    if show_progress {
+        eprintln!();
+    }
+
+    if json {
+        println!(
+            "{}",
+            grid_to_json(suite_name, instructions, engine.jobs(), &grid)
+        );
+    } else {
+        let mut table = TextTable::new(vec!["config", "mean MPKI", "Kbit"]);
+        let mut means = grid.mean_mpki_rows();
+        means.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        for (name, mean) in means {
+            let kbit = lookup(name).map_or(0.0, |s| s.storage_kbit());
+            table.row(vec![
+                name.to_owned(),
+                format!("{mean:.3}"),
+                format!("{kbit:.0}"),
+            ]);
+        }
+        println!(
+            "{} grid: {} predictors x {} benchmarks at {} instructions, {} jobs, {:.2}s\n{table}",
+            suite_name,
+            grid.predictors.len(),
+            grid.benchmarks.len(),
+            instructions,
+            engine.jobs(),
+            elapsed.as_secs_f64(),
+        );
+    }
+    Ok(())
+}
+
+/// Minimal JSON escaping for benchmark/config names (ASCII data).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn grid_to_json(
+    suite: &str,
+    instructions: u64,
+    jobs: usize,
+    grid: &imli_repro::sim::GridResult,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"suite\": \"{}\",\n  \"instructions\": {},\n  \"jobs\": {},\n  \"benchmarks\": [",
+        json_escape(suite),
+        instructions,
+        jobs
+    ));
+    for (i, b) in grid.benchmarks.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", json_escape(b)));
+    }
+    out.push_str("],\n  \"rows\": [\n");
+    let means = grid.mean_mpki_rows();
+    for (p, name) in grid.predictors.iter().enumerate() {
+        let row = grid.row(p);
+        let mean = means[p].1;
+        out.push_str(&format!(
+            "    {{\"predictor\": \"{}\", \"mean_mpki\": {:.6}, \"mpki\": [",
+            json_escape(name),
+            mean
+        ));
+        for (b, cell) in row.iter().enumerate() {
+            if b > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{:.6}", cell.mpki()));
+        }
+        out.push_str("]}");
+        out.push_str(if p + 1 < grid.predictors.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}");
+    out
 }
 
 fn main() -> ExitCode {

@@ -11,12 +11,12 @@ use imli_repro::workloads::{cbp3_suite, cbp4_suite, find_benchmark, generate};
 fn simulation_is_deterministic_for_every_registered_predictor() {
     let spec = find_benchmark("MM07").expect("exists");
     let trace = generate(&spec, 120_000);
-    for (name, factory) in registry() {
-        let mut a = factory();
-        let mut b = factory();
+    for spec in registry() {
+        let mut a = spec.make();
+        let mut b = spec.make();
         let ra = simulate(a.as_mut(), &trace);
         let rb = simulate(b.as_mut(), &trace);
-        assert_eq!(ra.stats, rb.stats, "{name} diverged between runs");
+        assert_eq!(ra.stats, rb.stats, "{} diverged between runs", spec.name);
     }
 }
 

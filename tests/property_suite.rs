@@ -32,14 +32,14 @@ proptest! {
     fn predictors_never_panic_and_stay_deterministic(
         records in proptest::collection::vec(arb_record(), 1..400)
     ) {
-        for (name, factory) in registry() {
-            let mut a = factory();
-            let mut b = factory();
+        for spec in registry() {
+            let mut a = spec.make();
+            let mut b = spec.make();
             for r in &records {
                 if r.is_conditional() {
                     let pa = a.predict(r.pc);
                     let pb = b.predict(r.pc);
-                    prop_assert_eq!(pa, pb, "{} diverged", name);
+                    prop_assert_eq!(pa, pb, "{} diverged", spec.name);
                     a.update(r);
                     b.update(r);
                 } else {
@@ -77,8 +77,8 @@ proptest! {
     fn storage_accounting_is_static(
         records in proptest::collection::vec(arb_record(), 0..100)
     ) {
-        for (name, factory) in registry() {
-            let mut p = factory();
+        for spec in registry() {
+            let mut p = spec.make();
             let before = p.storage_bits();
             for r in &records {
                 if r.is_conditional() {
@@ -88,7 +88,7 @@ proptest! {
                     p.notify_nonconditional(r);
                 }
             }
-            prop_assert_eq!(before, p.storage_bits(), "{} budget drifted", name);
+            prop_assert_eq!(before, p.storage_bits(), "{} budget drifted", spec.name);
         }
     }
 }

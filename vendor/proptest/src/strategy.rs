@@ -1,0 +1,288 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy (proptest's
+/// `Arbitrary`).
+pub trait ArbitraryValue: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// An unconstrained value of `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced, wide dynamic range.
+        let unit = rng.unit_f64() - 0.5;
+        let scale = (rng.below(61) as i32 - 30) as f64;
+        unit * 10f64.powi(scale.clamp(-30.0, 30.0) as i32)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+// u64 needs its own inclusive impl to dodge span overflow on the full
+// domain.
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<u64> {
+    type Value = u64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        if lo == 0 && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.below(hi - lo + 1)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// String strategy from a pattern literal. Supports the
+/// `[characters]{lo,hi}` shape (with `a-z` ranges inside the class)
+/// that proptest accepts as a regex; anything else panics so a silent
+/// mis-generation cannot slip through.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (class, lo, span) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let len = lo + rng.below(span + 1) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (expanded class, lo, hi).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, u64)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class_src, reps) = rest.split_at(close);
+    let reps = reps
+        .strip_prefix(']')?
+        .strip_prefix('{')?
+        .strip_suffix('}')?;
+    let (lo, hi) = reps.split_once(',')?;
+    let (lo, hi): (usize, usize) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    if hi < lo {
+        return None;
+    }
+    let chars: Vec<char> = class_src.chars().collect();
+    let mut class = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            for c in chars[i]..=chars[i + 2] {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    if class.is_empty() {
+        return None;
+    }
+    Some((class, lo, (hi - lo) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pattern_expansion() {
+        let (class, lo, span) = parse_class_pattern("[a-c9 _-]{0,40}").unwrap();
+        assert_eq!(class, vec!['a', 'b', 'c', '9', ' ', '_', '-']);
+        assert_eq!(lo, 0);
+        assert_eq!(span, 40);
+        assert!(parse_class_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_class_and_length() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..200 {
+            let s = "[ab]{2,5}".gen_value(&mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..500 {
+            let (a, b, c) = (0u8..5, 1usize..=7, -1.5f64..=1.5).gen_value(&mut rng);
+            assert!(a < 5);
+            assert!((1..=7).contains(&b));
+            assert!((-1.5..=1.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (0u32..10).prop_map(|x| x * 2);
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+}
