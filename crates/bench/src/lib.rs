@@ -21,6 +21,8 @@
 use bp_sim::{lookup, run_suite, Engine, PredictorSpec, SuiteResult};
 use bp_workloads::{cbp3_suite, cbp4_suite, BenchmarkSpec};
 
+pub mod trace_bench;
+
 /// Per-benchmark instruction budget (`IMLI_REPRO_INSTR`, default 2M).
 pub fn instruction_budget() -> u64 {
     std::env::var("IMLI_REPRO_INSTR")

@@ -58,7 +58,11 @@ impl ImliSic {
     /// "inserting the IMLI counter in the indices of two tables" variant).
     #[inline]
     pub fn index(pc: u64, imli_count: u32) -> u64 {
-        mix64(pc_bits(pc) ^ (u64::from(imli_count) << 44))
+        // Spread the counter with an odd-constant multiply (a bijection
+        // on u64, so no two counts collapse to the same key) rather than
+        // `<< 44`, which shifted the counter's top 12 bits off the end
+        // and aliased every count >= 2^20 onto count 0's index.
+        mix64(pc_bits(pc) ^ u64::from(imli_count).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 }
 
@@ -144,5 +148,26 @@ mod tests {
         assert_eq!(ImliSic::index(0x40, 3), ImliSic::index(0x40, 3));
         assert_ne!(ImliSic::index(0x40, 3), ImliSic::index(0x40, 4));
         assert_ne!(ImliSic::index(0x40, 3), ImliSic::index(0x44, 3));
+    }
+
+    #[test]
+    fn index_disperses_large_counts_losslessly() {
+        // Regression: the old `counter << 44` dropped the top 12 bits of
+        // the counter, so every count >= 2^20 indexed identically to
+        // count 0 at the same PC.
+        let pc = 0x40_0040;
+        let mut seen = std::collections::HashSet::new();
+        for c in [0u32, 1 << 20, (1 << 20) + 1, 1 << 24, 1 << 31, u32::MAX] {
+            assert!(seen.insert(ImliSic::index(pc, c)), "count {c} aliased");
+        }
+        // Behaviourally: training at a huge count must not disturb the
+        // counter learned for count 0 of the same branch.
+        let mut sic = ImliSic::new(512, 6);
+        for _ in 0..64 {
+            sic.train(&ctx(pc, 0), true);
+            sic.train(&ctx(pc, 1 << 20), false);
+        }
+        assert!(sic.read(&ctx(pc, 0)) > 0);
+        assert!(sic.read(&ctx(pc, 1 << 20)) < 0);
     }
 }

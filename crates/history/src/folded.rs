@@ -86,8 +86,10 @@ impl FoldedHistory {
     ///
     /// Panics if `value` does not fit in `compressed_len` bits.
     pub fn set_value(&mut self, value: u32) {
+        // The escape hatch must short-circuit *before* the shift: for a
+        // 32-bit fold `1u32 << 32` is itself shift overflow.
         assert!(
-            value < (1u32 << self.compressed_len) || self.compressed_len == 32,
+            self.compressed_len == 32 || value < (1u32 << self.compressed_len),
             "value wider than fold"
         );
         self.comp = value;
@@ -151,6 +153,18 @@ mod tests {
     fn set_value_checks_width() {
         let mut f = FoldedHistory::new(16, 4);
         f.set_value(16);
+    }
+
+    #[test]
+    fn full_width_fold_accepts_any_checkpoint_value() {
+        // Regression: the width assert used to evaluate
+        // `1u32 << 32` before the == 32 escape hatch, panicking with
+        // shift overflow for every legal 32-bit fold restore.
+        let mut f = FoldedHistory::new(64, 32);
+        f.set_value(u32::MAX);
+        assert_eq!(f.value(), u32::MAX);
+        f.set_value(0xDEAD_BEEF);
+        assert_eq!(f.value(), 0xDEAD_BEEF);
     }
 
     #[test]

@@ -134,8 +134,12 @@ impl GlobalHistory {
     /// deep relative to its history buffer).
     pub fn restore(&mut self, cp: GlobalHistoryCheckpoint) {
         assert!(cp.head <= self.head, "checkpoint is in the future");
+        // Strictly less than capacity: the `capacity`-th wrong-path push
+        // wraps onto slot `(head - 1) & mask` and silently clobbers the
+        // most recent *committed* bit, so `== capacity` is already too
+        // deep to repair.
         assert!(
-            self.head - cp.head <= self.capacity() as u64,
+            self.head - cp.head < self.capacity() as u64,
             "wrong path longer than history capacity"
         );
         self.head = cp.head;
@@ -211,6 +215,38 @@ mod tests {
         let after: Vec<bool> = (0..20).map(|i| h.bit(i)).collect();
         assert_eq!(before, after);
         assert_eq!(h.pushes(), 20);
+    }
+
+    #[test]
+    fn most_recent_committed_bit_survives_capacity_minus_one_wrong_path() {
+        // Regression: restore accepted a wrong path of *exactly*
+        // `capacity` pushes, whose last push wraps onto the slot of the
+        // most recent committed outcome. At `capacity - 1` pushes that
+        // bit must still be intact after repair.
+        let mut h = GlobalHistory::new(64);
+        for _ in 0..63 {
+            h.push(false);
+        }
+        h.push(true); // the most recent committed bit
+        let cp = h.checkpoint();
+        for _ in 0..63 {
+            h.push(false); // wrong path, one short of capacity
+        }
+        h.restore(cp);
+        assert!(h.bit(0), "most recent committed bit was clobbered");
+        assert_eq!(h.pushes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong path longer")]
+    fn restore_rejects_wrong_path_of_exactly_capacity() {
+        let mut h = GlobalHistory::new(64);
+        h.push(true);
+        let cp = h.checkpoint();
+        for _ in 0..64 {
+            h.push(false);
+        }
+        h.restore(cp);
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl Engine {
         progress: &(dyn Fn(CellUpdate<'_>) + Sync),
     ) -> GridResult {
         let total = predictors.len() * benchmarks.len();
-        let cells = run_indexed(
+        let timed = run_indexed(
             self.jobs,
             total,
             |idx| {
@@ -114,10 +114,12 @@ impl Engine {
             },
             progress,
         );
+        let (cells, cell_seconds) = timed.into_iter().unzip();
         GridResult {
             predictors: predictors.iter().map(|s| s.name.to_owned()).collect(),
             benchmarks: benchmarks.iter().map(|b| b.name.clone()).collect(),
             cells,
+            cell_seconds,
         }
     }
 }
@@ -131,28 +133,32 @@ pub(crate) struct CellLabel<'a> {
 }
 
 /// Runs `total` independent cells across `jobs` workers with dynamic
-/// self-scheduling, returning results in cell-index order. The worker
-/// closure returns the cell result plus its display label; completion
-/// counting happens here, under the collection lock, so progress
-/// callbacks observe a strictly increasing `completed`. Shared with
+/// self-scheduling, returning `(result, wall seconds)` pairs in
+/// cell-index order. The worker closure returns the cell result plus
+/// its display label; completion counting happens here, under the
+/// collection lock, so progress callbacks observe a strictly increasing
+/// `completed`. Per-cell wall time is measured around the closure
+/// (generation + simulation), outside the lock. Shared with
 /// [`crate::run_suite`], whose "grid" is one predictor row.
 pub(crate) fn run_indexed<'a, F>(
     jobs: usize,
     total: usize,
     cell: F,
     progress: &(dyn Fn(CellUpdate<'_>) + Sync),
-) -> Vec<SimResult>
+) -> Vec<(SimResult, f64)>
 where
     F: Fn(usize) -> (SimResult, CellLabel<'a>) + Sync,
 {
     let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, SimResult)>> = Mutex::new(Vec::with_capacity(total));
+    let collected: Mutex<Vec<(usize, SimResult, f64)>> = Mutex::new(Vec::with_capacity(total));
     let worker = || loop {
         let idx = next.fetch_add(1, Ordering::Relaxed);
         if idx >= total {
             break;
         }
+        let started = std::time::Instant::now();
         let (result, label) = cell(idx);
+        let seconds = started.elapsed().as_secs_f64();
         // One lock serializes the progress callback, makes `completed`
         // monotonic, and collects the result.
         let mut results = collected.lock().expect("results lock");
@@ -163,7 +169,7 @@ where
             completed: results.len() + 1,
             total,
         });
-        results.push((idx, result));
+        results.push((idx, result, seconds));
     };
     if jobs <= 1 || total <= 1 {
         worker();
@@ -177,13 +183,16 @@ where
     let mut results = collected.into_inner().expect("results lock");
     debug_assert_eq!(results.len(), total);
     // Completion order depends on scheduling; cell-index order does not.
-    results.sort_unstable_by_key(|(idx, _)| *idx);
-    results.into_iter().map(|(_, result)| result).collect()
+    results.sort_unstable_by_key(|(idx, _, _)| *idx);
+    results
+        .into_iter()
+        .map(|(_, result, seconds)| (result, seconds))
+        .collect()
 }
 
 /// A completed evaluation grid: per-cell [`SimResult`]s in
-/// deterministic predictor-major order.
-#[derive(Debug, Clone, PartialEq)]
+/// deterministic predictor-major order, plus per-cell wall time.
+#[derive(Debug, Clone)]
 pub struct GridResult {
     /// Registry names of the predictor rows, in input order.
     pub predictors: Vec<String>,
@@ -191,6 +200,21 @@ pub struct GridResult {
     pub benchmarks: Vec<String>,
     /// Row-major cells: `cells[p * benchmarks.len() + b]`.
     cells: Vec<SimResult>,
+    /// Wall seconds spent on each cell (generation + simulation),
+    /// row-major like `cells`.
+    cell_seconds: Vec<f64>,
+}
+
+/// Equality deliberately ignores `cell_seconds`: simulation output is
+/// deterministic across worker counts and runs, wall-clock is not, and
+/// the engine's determinism guarantees are stated (and tested) as grid
+/// equality.
+impl PartialEq for GridResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.predictors == other.predictors
+            && self.benchmarks == other.benchmarks
+            && self.cells == other.cells
+    }
 }
 
 impl GridResult {
@@ -217,6 +241,43 @@ impl GridResult {
     /// All cells, row-major.
     pub fn cells(&self) -> &[SimResult] {
         &self.cells
+    }
+
+    /// Wall seconds spent on each cell, row-major like
+    /// [`GridResult::cells`].
+    pub fn cell_seconds(&self) -> &[f64] {
+        &self.cell_seconds
+    }
+
+    /// End-to-end throughput of one cell in branch records per second
+    /// (0.0 if the cell ran too fast to time). The denominator is the
+    /// cell's whole wall time — lazy benchmark generation *plus*
+    /// simulation — since that is what a grid run actually costs; it is
+    /// not comparable to pure simulate-path timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn records_per_sec(&self, p: usize, b: usize) -> f64 {
+        assert!(p < self.predictors.len() && b < self.benchmarks.len());
+        let i = p * self.benchmarks.len() + b;
+        let seconds = self.cell_seconds[i];
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.cells[i].records as f64 / seconds
+    }
+
+    /// Aggregate end-to-end throughput: total records over total
+    /// per-cell wall seconds, generation included (CPU-time-ish: cells
+    /// overlap across workers, so this is per-worker throughput, not
+    /// wall-clock grid throughput).
+    pub fn mean_records_per_sec(&self) -> f64 {
+        let seconds: f64 = self.cell_seconds.iter().sum();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.cells.iter().map(|c| c.records as f64).sum::<f64>() / seconds
     }
 
     /// One predictor's row as a [`SuiteResult`] (the sequential API's
@@ -320,6 +381,24 @@ mod tests {
         let means = grid.mean_mpki_rows();
         assert_eq!(means.len(), 2);
         assert!((means[1].1 - suite.mean_mpki()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_cell_timings_and_throughput_are_populated() {
+        let (predictors, benchmarks) = small_grid();
+        let grid = Engine::with_jobs(2).run_grid(&predictors, &benchmarks, 20_000);
+        assert_eq!(grid.cell_seconds().len(), grid.cells().len());
+        for (p, _) in grid.predictors.iter().enumerate() {
+            for (b, _) in grid.benchmarks.iter().enumerate() {
+                assert!(grid.cell(p, b).records > 0);
+                assert!(grid.records_per_sec(p, b) >= 0.0);
+            }
+        }
+        assert!(grid.mean_records_per_sec() > 0.0);
+        // Equality ignores wall time: a re-run with different timings
+        // still compares equal cell-for-cell.
+        let rerun = Engine::with_jobs(1).run_grid(&predictors, &benchmarks, 20_000);
+        assert_eq!(grid, rerun);
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub struct SimResult {
     pub predictor: String,
     /// Retired instructions in the trace.
     pub instructions: u64,
+    /// Dynamic branch records consumed from the stream (all kinds, not
+    /// just conditionals) — the denominator of records/sec throughput.
+    pub records: u64,
     /// Prediction counts.
     pub stats: PredictorStats,
 }
@@ -54,6 +57,7 @@ impl Mpki {
     ///     benchmark: "b".into(),
     ///     predictor: "p".into(),
     ///     instructions: 5_000,
+    ///     records: 100,
     ///     stats,
     /// };
     /// assert_eq!(Mpki::of(&r).value(), 2.0);
@@ -110,8 +114,10 @@ where
     let benchmark = stream.name().to_owned();
     let mut stats = PredictorStats::default();
     let mut instructions = 0u64;
+    let mut records = 0u64;
     while let Some(record) = stream.next_record() {
         instructions += record.instructions();
+        records += 1;
         if record.is_conditional() {
             let pred = predictor.predict(record.pc);
             stats.record(pred == record.taken);
@@ -124,6 +130,7 @@ where
         benchmark,
         predictor: predictor.name().to_owned(),
         instructions,
+        records,
         stats,
     }
 }

@@ -157,7 +157,7 @@ pub fn run_suite(
     instructions: u64,
 ) -> SuiteResult {
     let jobs = std::thread::available_parallelism().map_or(4, NonZeroUsize::get);
-    let rows = run_indexed(
+    let timed = run_indexed(
         jobs,
         specs.len(),
         |idx| {
@@ -174,6 +174,7 @@ pub fn run_suite(
         },
         &|_| {},
     );
+    let rows: Vec<SimResult> = timed.into_iter().map(|(result, _)| result).collect();
     let predictor = rows
         .first()
         .map_or_else(String::new, |r| r.predictor.clone());
@@ -196,6 +197,7 @@ mod tests {
             benchmark: bench.to_owned(),
             predictor: "fake".to_owned(),
             instructions: 1000,
+            records: 100,
             stats,
         }
     }

@@ -1,16 +1,26 @@
 //! Compact binary (de)serialization of traces.
 //!
-//! The format is a small, versioned, little-endian layout so that generated
-//! workloads can be cached on disk and re-simulated without regeneration:
+//! Two format versions share the `"BPTR"` magic and header layout, and
+//! [`TraceReader`]/[`read_trace`] dispatch on the header's version
+//! field transparently:
 //!
-//! ```text
-//! magic  "BPTR"            4 bytes
-//! version u32              currently 1
-//! name_len u32, name bytes
-//! record_count u64
-//! records: pc u64 | target u64 | kind u8 | taken u8 | leading u32
-//! ```
+//! * **v1** (this module, [`write_trace`]) — fixed 22-byte records
+//!   written field-by-field:
+//!
+//!   ```text
+//!   magic  "BPTR"            4 bytes
+//!   version u32              1
+//!   name_len u32, name bytes
+//!   record_count u64
+//!   records: pc u64 | target u64 | kind u8 | taken u8 | leading u32
+//!   ```
+//!
+//! * **v2** ([`crate::write_trace_v2`] / [`crate::BlockWriter`]) —
+//!   block-framed, delta-encoded records with one large I/O per block;
+//!   see `io_v2.rs` for the layout. New files should be written
+//!   in v2; v1 writing is kept so old fixtures and tools keep working.
 
+use crate::io_v2::V2Body;
 use crate::record::{BranchKind, BranchRecord};
 use crate::stream::BranchStream;
 use crate::trace::Trace;
@@ -18,7 +28,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 4] = b"BPTR";
+pub(crate) const MAGIC: &[u8; 4] = b"BPTR";
 const VERSION: u32 = 1;
 /// Sanity cap on the header's name length: a corrupt stream must hit
 /// the error path, not a multi-gigabyte allocation.
@@ -40,8 +50,31 @@ pub enum TraceIoError {
     NameTooLong(u32),
     /// A record used an unknown [`BranchKind`] code.
     BadKind(u8),
-    /// A record's taken flag was neither 0 nor 1.
+    /// A record's taken flag was neither 0 nor 1 (v1 records).
     BadTakenFlag(u8),
+    /// A v2 record's flags byte has reserved bits set.
+    BadFlags(u8),
+    /// A v2 varint was longer than the field it encodes.
+    BadVarint,
+    /// A v2 block declared more payload than the sanity cap allows
+    /// (corrupt-frame guard: the length would otherwise be allocated
+    /// blindly).
+    BlockTooLarge(u32),
+    /// Decoding a v2 block ran past its declared payload length.
+    BlockOverrun,
+    /// A v2 block had payload bytes left after its declared record
+    /// count was decoded.
+    BlockTrailingBytes(usize),
+    /// A v2 terminator frame carried the wrong payload length.
+    BadTerminator(u32),
+    /// The record count declared in a v2 header or terminator disagrees
+    /// with the records actually present.
+    CountMismatch {
+        /// What the header or terminator claimed.
+        declared: u64,
+        /// What was actually counted.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -59,6 +92,25 @@ impl fmt::Display for TraceIoError {
             }
             TraceIoError::BadKind(c) => write!(f, "unknown branch kind code {c}"),
             TraceIoError::BadTakenFlag(c) => write!(f, "invalid taken flag {c}"),
+            TraceIoError::BadFlags(b) => {
+                write!(f, "record flags {b:#04x} have reserved bits set")
+            }
+            TraceIoError::BadVarint => write!(f, "varint wider than its field"),
+            TraceIoError::BlockTooLarge(n) => {
+                write!(f, "block payload length {n} exceeds the sanity cap")
+            }
+            TraceIoError::BlockOverrun => {
+                write!(f, "record decoding ran past the block's payload")
+            }
+            TraceIoError::BlockTrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the block's declared records")
+            }
+            TraceIoError::BadTerminator(n) => {
+                write!(f, "terminator frame payload length {n}, expected 8")
+            }
+            TraceIoError::CountMismatch { declared, actual } => {
+                write!(f, "declared record count {declared}, found {actual}")
+            }
         }
     }
 }
@@ -78,9 +130,13 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
-/// Serializes `trace` to `writer` in the versioned binary format.
+/// Serializes `trace` to `writer` in format **v1** (fixed-width
+/// records).
 ///
-/// A `&mut` reference can be passed as the writer.
+/// Kept for compatibility with existing fixtures and tools; new files
+/// should prefer [`crate::write_trace_v2`], which is a fraction of the
+/// size and reads faster. A `&mut` reference can be passed as the
+/// writer.
 ///
 /// # Errors
 ///
@@ -98,6 +154,10 @@ pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIo
         writer.write_all(&[r.kind.code(), u8::from(r.taken)])?;
         writer.write_all(&r.leading_instructions.to_le_bytes())?;
     }
+    // Flush here rather than relying on a buffered writer's Drop, which
+    // swallows I/O errors — a full disk must fail the write, not
+    // silently truncate the file. (v2 does the same in finish().)
+    writer.flush()?;
     Ok(())
 }
 
@@ -122,8 +182,9 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
 }
 
 /// Streaming reader over a serialized trace: parses the header eagerly,
-/// then yields records one at a time, so a multi-gigabyte trace file
-/// simulates in O(1) memory.
+/// dispatches on the header's format version (v1 fixed-width or v2
+/// block-framed — every v1 file keeps working), then yields records one
+/// at a time, so a multi-gigabyte trace file simulates in O(1) memory.
 ///
 /// `TraceReader` implements [`BranchStream`] and can therefore be fed
 /// straight to the simulator. Because [`BranchStream::next_record`]
@@ -143,6 +204,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
 ///
 /// let mut reader = TraceReader::new(buf.as_slice()).unwrap();
 /// assert_eq!(reader.name(), "on-disk");
+/// assert_eq!(reader.version(), 1);
 /// assert_eq!(reader.remaining(), 1);
 /// let first = reader.next_record().unwrap();
 /// assert_eq!(first.pc, 0x40);
@@ -151,10 +213,16 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
 /// ```
 #[derive(Debug)]
 pub struct TraceReader<R> {
-    reader: R,
     name: String,
-    remaining: usize,
+    version: u32,
     error: Option<TraceIoError>,
+    inner: Inner<R>,
+}
+
+#[derive(Debug)]
+enum Inner<R> {
+    V1 { reader: R, remaining: u64 },
+    V2(V2Body<R>),
 }
 
 impl<R: Read> TraceReader<R> {
@@ -171,7 +239,7 @@ impl<R: Read> TraceReader<R> {
             return Err(TraceIoError::BadMagic(magic));
         }
         let version = read_u32(&mut reader)?;
-        if version != VERSION {
+        if version != VERSION && version != crate::io_v2::VERSION_2 {
             return Err(TraceIoError::UnsupportedVersion(version));
         }
         let name_len = read_u32(&mut reader)?;
@@ -182,19 +250,37 @@ impl<R: Read> TraceReader<R> {
         let mut name_bytes = vec![0u8; name_len];
         reader.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes).map_err(|_| TraceIoError::BadName)?;
-        let remaining = read_u64(&mut reader)? as usize;
+        let count = read_u64(&mut reader)?;
+        let inner = if version == VERSION {
+            Inner::V1 {
+                reader,
+                remaining: count,
+            }
+        } else {
+            Inner::V2(V2Body::new(reader, count))
+        };
         Ok(TraceReader {
-            reader,
             name,
-            remaining,
+            version,
             error: None,
+            inner,
         })
     }
 
-    /// Records still to be read (from the header count, decremented per
-    /// record).
+    /// The header's format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Records still to be read. Exact for v1 files and v2 files whose
+    /// writer declared a count up front; for streamed v2 files (unknown
+    /// count) this is the records left in the current block — a lower
+    /// bound.
     pub fn remaining(&self) -> usize {
-        self.remaining
+        match &self.inner {
+            Inner::V1 { remaining, .. } => *remaining as usize,
+            Inner::V2(body) => body.remaining(),
+        }
     }
 
     /// The mid-stream error that ended the stream early, if any.
@@ -209,41 +295,46 @@ impl<R: Read> TraceReader<R> {
     /// Returns a [`TraceIoError`] if the stream is truncated or a record
     /// is corrupt; the stream yields nothing further afterwards.
     pub fn try_next(&mut self) -> Result<Option<BranchRecord>, TraceIoError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        match self.read_record() {
-            Ok(record) => {
-                self.remaining -= 1;
-                Ok(Some(record))
+        match &mut self.inner {
+            Inner::V1 { reader, remaining } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                match read_record_v1(reader) {
+                    Ok(record) => {
+                        *remaining -= 1;
+                        Ok(Some(record))
+                    }
+                    Err(e) => {
+                        *remaining = 0;
+                        Err(e)
+                    }
+                }
             }
-            Err(e) => {
-                self.remaining = 0;
-                Err(e)
-            }
+            Inner::V2(body) => body.try_next(),
         }
     }
+}
 
-    fn read_record(&mut self) -> Result<BranchRecord, TraceIoError> {
-        let pc = read_u64(&mut self.reader)?;
-        let target = read_u64(&mut self.reader)?;
-        let mut flags = [0u8; 2];
-        self.reader.read_exact(&mut flags)?;
-        let kind = BranchKind::from_code(flags[0]).ok_or(TraceIoError::BadKind(flags[0]))?;
-        let taken = match flags[1] {
-            0 => false,
-            1 => true,
-            other => return Err(TraceIoError::BadTakenFlag(other)),
-        };
-        let leading = read_u32(&mut self.reader)?;
-        Ok(BranchRecord {
-            pc,
-            target,
-            kind,
-            taken,
-            leading_instructions: leading,
-        })
-    }
+fn read_record_v1<R: Read>(reader: &mut R) -> Result<BranchRecord, TraceIoError> {
+    let pc = read_u64(reader)?;
+    let target = read_u64(reader)?;
+    let mut flags = [0u8; 2];
+    reader.read_exact(&mut flags)?;
+    let kind = BranchKind::from_code(flags[0]).ok_or(TraceIoError::BadKind(flags[0]))?;
+    let taken = match flags[1] {
+        0 => false,
+        1 => true,
+        other => return Err(TraceIoError::BadTakenFlag(other)),
+    };
+    let leading = read_u32(reader)?;
+    Ok(BranchRecord {
+        pc,
+        target,
+        kind,
+        taken,
+        leading_instructions: leading,
+    })
 }
 
 impl<R: Read> BranchStream for TraceReader<R> {
@@ -252,6 +343,13 @@ impl<R: Read> BranchStream for TraceReader<R> {
     }
 
     fn next_record(&mut self) -> Option<BranchRecord> {
+        // Cursor-hit fast path for v2 bodies: skips the Result plumbing
+        // on the per-record hot loop the simulator drives.
+        if let Inner::V2(body) = &mut self.inner {
+            if let Some(record) = body.next_cached() {
+                return Some(record);
+            }
+        }
         match self.try_next() {
             Ok(record) => record,
             Err(e) => {
@@ -262,9 +360,13 @@ impl<R: Read> BranchStream for TraceReader<R> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        // The header count is a claim, not a guarantee (the file may be
-        // truncated), so it only bounds from above.
-        (0, Some(self.remaining))
+        // Declared counts are claims, not guarantees (the file may be
+        // truncated), so they only bound from above; streamed v2 files
+        // with no declared count are unbounded.
+        match &self.inner {
+            Inner::V1 { remaining, .. } => (0, Some(*remaining as usize)),
+            Inner::V2(body) => (0, body.declared().map(|d| d as usize)),
+        }
     }
 }
 

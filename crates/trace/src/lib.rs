@@ -46,12 +46,14 @@
 #![warn(missing_docs)]
 
 mod io;
+mod io_v2;
 mod record;
 mod stats;
 mod stream;
 mod trace;
 
 pub use io::{read_trace, write_trace, TraceIoError, TraceReader};
+pub use io_v2::{write_trace_v2, BlockWriter};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{KindCounts, TraceStats};
 pub use stream::{BranchStream, Records, TraceStream};

@@ -40,12 +40,14 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod kernels;
 mod sink;
 mod spec;
 mod stream;
 mod suites;
 
+pub use cache::{cache_benchmark, TraceFileSink};
 pub use kernels::{Kernel, KernelSpec, TripCount};
 pub use sink::RecordSink;
 pub use spec::{generate, BenchmarkSpec};

@@ -3,11 +3,13 @@
 //! ```text
 //! bp list benchmarks            list the 80 synthetic benchmarks
 //! bp list predictors            list the registered configurations
-//! bp generate <bench> <instr> <file>
+//! bp generate <bench> <instr> <file> [--v1]
 //!                               generate a benchmark trace to disk
+//!                               (format v2 streamed in O(1) memory by
+//!                               default; --v1 writes the legacy format)
 //! bp simulate <config> <bench-or-file> [instr]
 //!                               run one predictor over a benchmark name
-//!                               or a serialized trace file
+//!                               or a serialized trace file (v1 or v2)
 //! bp profile <config> <bench> [instr] [top]
 //!                               per-static-branch misprediction profile
 //! bp compare <bench> [instr]    all registered predictors on one benchmark
@@ -15,24 +17,32 @@
 //!         [--family F] [--predictors a,b,c]
 //!                               the full (predictor × benchmark) grid on
 //!                               the parallel engine
+//! bp bench [--quick] [--instr N] [--out FILE]
+//!                               trace-I/O throughput benchmark (v1 vs v2
+//!                               write/read/simulate); emits
+//!                               BENCH_trace_io.json
 //! ```
 
+use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
 use imli_repro::sim::{
-    family_members, lookup, make_predictor, registry, simulate, Engine, MispredictionProfile,
-    PredictorFamily, PredictorSpec, TextTable,
+    family_members, lookup, make_predictor, registry, simulate, simulate_stream, Engine,
+    MispredictionProfile, PredictorFamily, PredictorSpec, TextTable,
 };
-use imli_repro::trace::{read_trace, write_trace, Trace};
-use imli_repro::workloads::{cbp3_suite, cbp4_suite, find_benchmark, generate, suite_by_name};
+use imli_repro::trace::{read_trace, write_trace, Trace, TraceReader};
+use imli_repro::workloads::{
+    cache_benchmark, cbp3_suite, cbp4_suite, find_benchmark, generate, suite_by_name,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bp list (benchmarks|predictors)\n  bp generate <bench> <instr> <file>\n  \
+        "usage:\n  bp list (benchmarks|predictors)\n  bp generate <bench> <instr> <file> [--v1]\n  \
          bp simulate <config> <bench-or-file> [instr]\n  bp profile <config> <bench> [instr] [top]\n  \
          bp compare <bench> [instr]\n  \
-         bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c]"
+         bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c]\n  \
+         bp bench [--quick] [--instr N] [--out FILE]"
     );
     ExitCode::FAILURE
 }
@@ -75,16 +85,30 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
             println!("{table}");
             Ok(())
         }
-        ["generate", bench, instr, path] => {
+        ["generate", bench, instr, path] | ["generate", bench, instr, path, "--v1"] => {
+            if path == "--v1" {
+                // `bp generate <bench> <instr> --v1` with the output
+                // path forgotten would otherwise write a file literally
+                // named "--v1".
+                return Err("generate needs an output file path before --v1".to_owned());
+            }
+            let legacy_v1 = args.last().is_some_and(|a| a == "--v1");
             parse_u64(instr, "instruction count").and_then(|instructions| {
                 let spec = find_benchmark(bench).ok_or_else(|| {
                     format!("unknown benchmark {bench} (try `bp list benchmarks`)")
                 })?;
-                let trace = generate(&spec, instructions);
                 let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-                write_trace(BufWriter::new(file), &trace)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
-                println!("wrote {trace}");
+                if legacy_v1 {
+                    let trace = generate(&spec, instructions);
+                    write_trace(BufWriter::new(file), &trace)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("wrote {trace} (format v1)");
+                } else {
+                    // v2 streams straight to disk: no materialized trace.
+                    let records = cache_benchmark(&spec, instructions, BufWriter::new(file))
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("wrote {} ({records} records, format v2)", spec.name);
+                }
                 Ok(())
             })
         }
@@ -94,10 +118,22 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
                 .map(|s| parse_u64(s, "instruction count"))
                 .transpose()?
                 .unwrap_or(1_000_000);
-            let trace = load_trace(source, instructions)?;
             let mut p = make_predictor(config)
                 .ok_or_else(|| format!("unknown predictor {config} (try `bp list predictors`)"))?;
-            let result = simulate(p.as_mut(), &trace);
+            // Both benchmark names and trace files (v1 or v2) simulate
+            // through the streaming path in O(1) memory.
+            let result = if let Some(spec) = find_benchmark(source) {
+                simulate_stream(p.as_mut(), spec.stream(instructions))
+            } else {
+                let file = File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+                let mut reader = TraceReader::new(BufReader::new(file))
+                    .map_err(|e| format!("cannot parse {source}: {e}"))?;
+                let result = simulate_stream(p.as_mut(), &mut reader);
+                if let Some(e) = reader.error() {
+                    return Err(format!("error while streaming {source}: {e}"));
+                }
+                result
+            };
             println!("{result}");
             Ok(())
         }
@@ -135,6 +171,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
             Ok(())
         }
         ["grid", suite, ..] => run_grid(suite, &args[2..]),
+        ["bench", ..] => run_bench(&args[1..]),
         ["compare", bench] | ["compare", bench, _] => {
             let instructions = args
                 .get(2)
@@ -268,18 +305,76 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Minimal JSON escaping for benchmark/config names (ASCII data).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// Parses and runs `bp bench [--quick] [--instr N] [--out FILE]`: the
+/// trace-I/O throughput benchmark (format v1 vs v2), written as JSON to
+/// `BENCH_trace_io.json` (or `--out`) and summarized on stdout.
+///
+/// The default budget matches the paper's trace scale (~30M
+/// instructions per CBP trace), where the costs being measured are
+/// realistic: a materialized v1 trace no longer fits in cache, which is
+/// the regime the streaming v2 pipeline exists for. `--quick` is the
+/// CI smoke setting.
+fn run_bench(flags: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut instr: Option<u64> = None;
+    let mut out_path = "BENCH_trace_io.json".to_owned();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--instr" => {
+                let v = it.next().ok_or("--instr needs an instruction count")?;
+                instr = Some(parse_u64(v, "instruction count")?);
+            }
+            "--out" => {
+                out_path = it.next().ok_or("--out needs a file path")?.clone();
+            }
+            other => return Err(format!("unknown bench flag {other}")),
         }
     }
-    out
+    if quick && instr.is_some() {
+        return Err("--quick and --instr are mutually exclusive".to_owned());
+    }
+    let instructions = instr.unwrap_or(if quick { 200_000 } else { 30_000_000 });
+
+    let scratch = std::env::temp_dir().join(format!("bp-bench-{}", std::process::id()));
+    let report = run_trace_io_bench(instructions, &scratch)
+        .map_err(|e| format!("trace-io bench failed: {e}"))?;
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "records",
+        "v1 bytes",
+        "v2 bytes",
+        "v2/v1",
+        "v1 pipeline Mrec/s",
+        "v2 pipeline Mrec/s",
+    ]);
+    for b in &report.benchmarks {
+        table.row(vec![
+            b.benchmark.clone(),
+            b.records.to_string(),
+            b.v1.bytes.to_string(),
+            b.v2.bytes.to_string(),
+            format!("{:.3}", b.v2.bytes as f64 / b.v1.bytes as f64),
+            format!("{:.2}", b.v1.pipeline_records_per_sec(b.records) / 1e6),
+            format!("{:.2}", b.v2.pipeline_records_per_sec(b.records) / 1e6),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "totals: v2 size {:.1} % of v1; file-simulate pipeline speedup {:.2}x \
+         (streaming read {:.2}x, streaming read+simulate {:.2}x); \
+         engine grid {:.2} Mrec/s per worker (gen+sim)\nwrote {out_path}",
+        report.size_ratio() * 100.0,
+        report.pipeline_speedup(),
+        report.read_speedup(),
+        report.read_simulate_speedup(),
+        report.grid_mean_records_per_sec / 1e6,
+    );
+    Ok(())
 }
 
 fn grid_to_json(
@@ -290,8 +385,8 @@ fn grid_to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\n  \"suite\": \"{}\",\n  \"instructions\": {},\n  \"jobs\": {},\n  \"benchmarks\": [",
-        json_escape(suite),
+        "{{\n  \"suite\": {},\n  \"instructions\": {},\n  \"jobs\": {},\n  \"benchmarks\": [",
+        json_string(suite),
         instructions,
         jobs
     ));
@@ -299,7 +394,7 @@ fn grid_to_json(
         if i > 0 {
             out.push_str(", ");
         }
-        out.push_str(&format!("\"{}\"", json_escape(b)));
+        out.push_str(&json_string(b));
     }
     out.push_str("],\n  \"rows\": [\n");
     let means = grid.mean_mpki_rows();
@@ -307,8 +402,8 @@ fn grid_to_json(
         let row = grid.row(p);
         let mean = means[p].1;
         out.push_str(&format!(
-            "    {{\"predictor\": \"{}\", \"mean_mpki\": {:.6}, \"mpki\": [",
-            json_escape(name),
+            "    {{\"predictor\": {}, \"mean_mpki\": {:.6}, \"mpki\": [",
+            json_string(name),
             mean
         ));
         for (b, cell) in row.iter().enumerate() {

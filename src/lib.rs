@@ -17,7 +17,9 @@
 //!   neural-inspired predictor" claim,
 //! * [`workloads`] — synthetic CBP-like benchmark suites,
 //! * [`sim`] — the trace-driven simulator, predictor registry and
-//!   experiment harnesses.
+//!   experiment harnesses,
+//! * [`bench`] — experiment harness helpers and the trace-I/O
+//!   throughput benchmark behind `bp bench`.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub use bp_bench as bench;
 pub use bp_components as components;
 pub use bp_gehl as gehl;
 pub use bp_history as history;
