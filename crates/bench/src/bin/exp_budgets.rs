@@ -6,6 +6,7 @@
 //! (10-bit counter + 16-bit PIPE). Table 1/2 sizes: TAGE-GSC 228→234
 //! Kbit with IMLI; GEHL 204→209 Kbit.
 
+use bp_components::StorageBudget;
 use bp_sim::{make_predictor, TextTable};
 use bp_tage::TageSc;
 use imli::{ImliConfig, ImliState};
@@ -58,4 +59,15 @@ fn main() {
         parts.row(vec![label, format!("{:.1}", bits as f64 / 1024.0)]);
     }
     println!("{parts}");
+
+    // The exact per-table itemization behind the coarse parts above —
+    // the same `StorageBudget` channel `bp report` folds into its
+    // storage tables.
+    let full = TageSc::tage_gsc_imli();
+    let mut itemized = TextTable::new(vec!["TAGE-GSC+IMLI table", "bits"]);
+    for item in full.storage_items() {
+        itemized.row(vec![item.label, item.bits.to_string()]);
+    }
+    itemized.row(vec!["TOTAL".to_owned(), full.storage_bits().to_string()]);
+    println!("{itemized}");
 }

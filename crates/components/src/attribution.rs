@@ -1,0 +1,190 @@
+//! Prediction attribution: *which* component of a composed predictor
+//! provided each prediction.
+//!
+//! The paper's evaluation is a set of ablation tables — the interesting
+//! question is never just "what was the MPKI" but "which component
+//! earned its storage". Every [`crate::ConditionalPredictor`] can
+//! therefore report, per prediction, the providing component, what the
+//! alternate path would have predicted, and a coarse confidence bucket,
+//! through [`ConditionalPredictor::predict_attributed`].
+//!
+//! Attribution is strictly opt-in: the hot grid path keeps calling
+//! [`predict`], which does not construct (or store) attribution state,
+//! so instrumentation costs nothing unless a report asks for it. The
+//! workspace guarantees (and property-tests) that the attributed and
+//! plain paths produce bit-identical predictions.
+//!
+//! [`predict`]: crate::ConditionalPredictor::predict
+//! [`ConditionalPredictor::predict_attributed`]:
+//! crate::ConditionalPredictor::predict_attributed
+
+/// The component of a (possibly composed) predictor that provided the
+/// final prediction of one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProviderComponent {
+    /// The predictor does not implement attribution (the trait default).
+    Unattributed,
+    /// A PC-indexed base table (the TAGE bimodal base, or the single
+    /// table of `bimodal`/`gshare`).
+    Base,
+    /// TAGE tagged bank `0..n` (0 = shortest history); the bank whose
+    /// prediction was actually used, which is the alternate bank when
+    /// the `use_alt_on_na` policy overrode a weak new allocation.
+    Tagged(u8),
+    /// The statistical corrector reverted the TAGE prediction.
+    Corrector,
+    /// A neural adder-tree sum (GEHL / hashed perceptron), including any
+    /// IMLI components folded into the summation.
+    Neural,
+    /// A confident loop-predictor override.
+    Loop,
+    /// A confident wormhole side-predictor override.
+    Wormhole,
+}
+
+impl ProviderComponent {
+    /// Coarse aggregation key: tagged banks collapse onto `"tagged"` so
+    /// summaries stay readable (the per-bank detail remains in the
+    /// enum for callers that want it).
+    pub fn key(&self) -> &'static str {
+        match self {
+            ProviderComponent::Unattributed => "unattributed",
+            ProviderComponent::Base => "base",
+            ProviderComponent::Tagged(_) => "tagged",
+            ProviderComponent::Corrector => "corrector",
+            ProviderComponent::Neural => "neural",
+            ProviderComponent::Loop => "loop",
+            ProviderComponent::Wormhole => "wormhole",
+        }
+    }
+}
+
+/// Coarse confidence of the providing component at prediction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConfidenceBucket {
+    /// Weak: a weak counter state or a sum well below the threshold.
+    Low,
+    /// A sum between half the adaptive threshold and the threshold.
+    Medium,
+    /// A confident counter or a sum at/above the adaptive threshold.
+    High,
+}
+
+impl ConfidenceBucket {
+    /// Buckets a neural sum magnitude against the host's adaptive
+    /// update threshold θ: at/above θ is [`High`](Self::High), at/above
+    /// θ/2 is [`Medium`](Self::Medium), else [`Low`](Self::Low).
+    pub fn from_sum(sum_abs: i32, theta: i32) -> Self {
+        if sum_abs >= theta.max(1) {
+            ConfidenceBucket::High
+        } else if 2 * sum_abs >= theta {
+            ConfidenceBucket::Medium
+        } else {
+            ConfidenceBucket::Low
+        }
+    }
+
+    /// Buckets a saturating counter: weak states are
+    /// [`Low`](Self::Low), saturated states [`High`](Self::High),
+    /// everything between [`Medium`](Self::Medium).
+    pub fn from_counter(confidence: u8, max_confidence: u8) -> Self {
+        if confidence == 0 {
+            ConfidenceBucket::Low
+        } else if confidence >= max_confidence {
+            ConfidenceBucket::High
+        } else {
+            ConfidenceBucket::Medium
+        }
+    }
+
+    /// Stable lower-case label (`"low"`, `"medium"`, `"high"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConfidenceBucket::Low => "low",
+            ConfidenceBucket::Medium => "medium",
+            ConfidenceBucket::High => "high",
+        }
+    }
+}
+
+/// Attribution of one prediction: who provided it, what the losing path
+/// would have said, how confident the provider was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictionAttribution {
+    /// The component that provided the final prediction.
+    pub component: ProviderComponent,
+    /// What the alternate path would have predicted: the TAGE alternate
+    /// bank under a tagged provider, the TAGE prediction under a
+    /// corrector revert, the subsumed main prediction under a loop or
+    /// wormhole override. `None` when no meaningful alternate exists
+    /// (single-table predictors, pure neural sums).
+    pub alternate: Option<bool>,
+    /// Confidence bucket of the provider at prediction time.
+    pub confidence: ConfidenceBucket,
+}
+
+impl PredictionAttribution {
+    /// The attribution reported by predictors that do not implement the
+    /// channel.
+    pub fn unattributed() -> Self {
+        PredictionAttribution {
+            component: ProviderComponent::Unattributed,
+            alternate: None,
+            confidence: ConfidenceBucket::Low,
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn new(
+        component: ProviderComponent,
+        alternate: Option<bool>,
+        confidence: ConfidenceBucket,
+    ) -> Self {
+        PredictionAttribution {
+            component,
+            alternate,
+            confidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_collapse_banks() {
+        assert_eq!(ProviderComponent::Tagged(0).key(), "tagged");
+        assert_eq!(ProviderComponent::Tagged(11).key(), "tagged");
+        assert_eq!(ProviderComponent::Base.key(), "base");
+        assert_eq!(ProviderComponent::Unattributed.key(), "unattributed");
+    }
+
+    #[test]
+    fn sum_buckets_follow_theta() {
+        assert_eq!(ConfidenceBucket::from_sum(20, 10), ConfidenceBucket::High);
+        assert_eq!(ConfidenceBucket::from_sum(10, 10), ConfidenceBucket::High);
+        assert_eq!(ConfidenceBucket::from_sum(6, 10), ConfidenceBucket::Medium);
+        assert_eq!(ConfidenceBucket::from_sum(2, 10), ConfidenceBucket::Low);
+        // A zero theta never divides by zero and saturates to High.
+        assert_eq!(ConfidenceBucket::from_sum(1, 0), ConfidenceBucket::High);
+    }
+
+    #[test]
+    fn counter_buckets() {
+        assert_eq!(ConfidenceBucket::from_counter(0, 3), ConfidenceBucket::Low);
+        assert_eq!(
+            ConfidenceBucket::from_counter(1, 3),
+            ConfidenceBucket::Medium
+        );
+        assert_eq!(ConfidenceBucket::from_counter(3, 3), ConfidenceBucket::High);
+    }
+
+    #[test]
+    fn unattributed_default_shape() {
+        let a = PredictionAttribution::unattributed();
+        assert_eq!(a.component, ProviderComponent::Unattributed);
+        assert_eq!(a.alternate, None);
+        assert_eq!(a.confidence.label(), "low");
+    }
+}

@@ -1,5 +1,7 @@
 //! Bimodal (PC-indexed) prediction tables.
 
+use crate::attribution::{ConfidenceBucket, PredictionAttribution, ProviderComponent};
+use crate::budget::{StorageBudget, StorageItem};
 use crate::counter::SaturatingCounter;
 use crate::hash::pc_bits;
 use crate::predictor::ConditionalPredictor;
@@ -130,6 +132,18 @@ impl ConditionalPredictor for Bimodal {
         self.counters[self.index(pc)].is_taken()
     }
 
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        let c = self.counters[self.index(pc)];
+        (
+            c.is_taken(),
+            PredictionAttribution::new(
+                ProviderComponent::Base,
+                None,
+                ConfidenceBucket::from_counter(c.confidence(), c.max() as u8),
+            ),
+        )
+    }
+
     fn update(&mut self, record: &BranchRecord) {
         let idx = self.index(record.pc);
         self.counters[idx].train(record.taken);
@@ -138,9 +152,11 @@ impl ConditionalPredictor for Bimodal {
     fn name(&self) -> &str {
         "bimodal"
     }
+}
 
-    fn storage_bits(&self) -> u64 {
-        self.counters.len() as u64 * 2
+impl StorageBudget for Bimodal {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        vec![StorageItem::new("bimodal", self.counters.len() as u64 * 2)]
     }
 }
 

@@ -1,0 +1,94 @@
+//! Exact storage-budget accounting.
+//!
+//! The paper's comparisons only make sense *at a fixed storage budget*
+//! (its Tables 1 and 2 quote every configuration in Kbits). Ad-hoc
+//! per-crate `storage_bits` methods make it too easy for a config tweak
+//! to silently change the budget, so every predictor implements
+//! [`StorageBudget`] and itemizes its cost table-by-table; the total is
+//! always the sum of the items, and report tooling can print the same
+//! breakdown the paper's budget paragraphs walk through.
+
+use std::fmt;
+
+/// One named storage item — a table, register file, or register — with
+/// its exact cost in bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageItem {
+    /// Hierarchical label, e.g. `"tage/tagged[3]"` or `"sc/imli-sic"`.
+    pub label: String,
+    /// Exact cost in bits.
+    pub bits: u64,
+}
+
+impl StorageItem {
+    /// Builds one item.
+    pub fn new(label: impl Into<String>, bits: u64) -> Self {
+        StorageItem {
+            label: label.into(),
+            bits,
+        }
+    }
+
+    /// Returns the item with `prefix/` prepended to its label — used by
+    /// composed predictors to namespace sub-component breakdowns.
+    #[must_use]
+    pub fn prefixed(mut self, prefix: &str) -> Self {
+        self.label = format!("{prefix}/{}", self.label);
+        self
+    }
+}
+
+impl fmt::Display for StorageItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} bits", self.label, self.bits)
+    }
+}
+
+/// Exact, itemized storage accounting.
+///
+/// Implementors enumerate every storage structure they own; the
+/// provided [`storage_bits`](StorageBudget::storage_bits) total is
+/// always consistent with the itemization by construction.
+pub trait StorageBudget {
+    /// Every table/register group with its exact bit cost, in a stable
+    /// deterministic order.
+    fn storage_items(&self) -> Vec<StorageItem>;
+
+    /// Total predictor storage in bits (tables + histories), for the
+    /// paper's budget comparisons. Always the sum of
+    /// [`storage_items`](StorageBudget::storage_items).
+    fn storage_bits(&self) -> u64 {
+        self.storage_items().iter().map(|i| i.bits).sum()
+    }
+
+    /// Total storage in Kbit, the unit the paper quotes.
+    fn storage_kbit(&self) -> f64 {
+        self.storage_bits() as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TwoTables;
+    impl StorageBudget for TwoTables {
+        fn storage_items(&self) -> Vec<StorageItem> {
+            vec![StorageItem::new("a", 1024), StorageItem::new("b", 3 * 1024)]
+        }
+    }
+
+    #[test]
+    fn total_is_item_sum() {
+        let t = TwoTables;
+        assert_eq!(t.storage_bits(), 4096);
+        assert!((t.storage_kbit() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefixing_and_display() {
+        let item = StorageItem::new("tagged[3]", 7).prefixed("tage");
+        assert_eq!(item.label, "tage/tagged[3]");
+        assert_eq!(format!("{item}"), "tage/tagged[3]: 7 bits");
+    }
+}

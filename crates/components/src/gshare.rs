@@ -1,5 +1,7 @@
 //! GShare: the classic global-history XOR-indexed predictor.
 
+use crate::attribution::{ConfidenceBucket, PredictionAttribution, ProviderComponent};
+use crate::budget::{StorageBudget, StorageItem};
 use crate::counter::SaturatingCounter;
 use crate::hash::pc_bits;
 use crate::predictor::ConditionalPredictor;
@@ -57,6 +59,18 @@ impl ConditionalPredictor for GShare {
         self.counters[self.index(pc)].is_taken()
     }
 
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        let c = self.counters[self.index(pc)];
+        (
+            c.is_taken(),
+            PredictionAttribution::new(
+                ProviderComponent::Base,
+                None,
+                ConfidenceBucket::from_counter(c.confidence(), c.max() as u8),
+            ),
+        )
+    }
+
     fn update(&mut self, record: &BranchRecord) {
         let idx = self.index(record.pc);
         self.counters[idx].train(record.taken);
@@ -66,9 +80,14 @@ impl ConditionalPredictor for GShare {
     fn name(&self) -> &str {
         &self.name
     }
+}
 
-    fn storage_bits(&self) -> u64 {
-        self.counters.len() as u64 * 2 + self.history_len as u64
+impl StorageBudget for GShare {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        vec![
+            StorageItem::new("gshare-table", self.counters.len() as u64 * 2),
+            StorageItem::new("gshare-history", self.history_len as u64),
+        ]
     }
 }
 

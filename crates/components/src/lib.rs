@@ -14,11 +14,18 @@
 //!   GEHL and the statistical corrector;
 //! * [`SumComponent`]/[`SumCtx`] — the adder-tree abstraction of
 //!   neural-inspired predictors. The IMLI components of the paper are
-//!   `SumComponent`s added to a host's summation (paper Figures 5 and 6).
+//!   `SumComponent`s added to a host's summation (paper Figures 5 and 6);
+//! * [`StorageBudget`]/[`StorageItem`] — exact per-table storage
+//!   accounting behind the paper's fixed-budget comparisons;
+//! * [`PredictionAttribution`]/[`ProviderComponent`] — the opt-in
+//!   instrumentation channel reporting which component provided each
+//!   prediction (consumed by `bp-sim`'s report layer).
 
 #![warn(missing_docs)]
 
+mod attribution;
 mod bimodal;
+mod budget;
 mod counter;
 mod gshare;
 mod hash;
@@ -27,7 +34,9 @@ mod predictor;
 mod sum;
 mod threshold;
 
+pub use attribution::{ConfidenceBucket, PredictionAttribution, ProviderComponent};
 pub use bimodal::{Bimodal, BimodalTable};
+pub use budget::{StorageBudget, StorageItem};
 pub use counter::SaturatingCounter;
 pub use gshare::GShare;
 pub use hash::{fold_u64, mix64, pc_bits};

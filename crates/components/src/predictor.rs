@@ -1,5 +1,7 @@
 //! The simulator-facing predictor trait.
 
+use crate::attribution::PredictionAttribution;
+use crate::budget::{StorageBudget, StorageItem};
 use bp_trace::BranchRecord;
 
 /// A conditional branch direction predictor, driven with the CBP protocol:
@@ -15,9 +17,29 @@ use bp_trace::BranchRecord;
 /// lookup state (computed indices, matching banks) between the prediction
 /// and the update of the same branch, exactly as the reference CBP
 /// simulators do.
-pub trait ConditionalPredictor {
+///
+/// Storage accounting comes from the [`StorageBudget`] supertrait, which
+/// itemizes every table's exact bit cost; prediction attribution (which
+/// component provided each prediction) from
+/// [`predict_attributed`](ConditionalPredictor::predict_attributed),
+/// which the hot simulation path simply never calls.
+pub trait ConditionalPredictor: StorageBudget {
     /// Predicts the direction of the conditional branch at `pc`.
     fn predict(&mut self, pc: u64) -> bool;
+
+    /// Predicts like [`predict`](ConditionalPredictor::predict) and also
+    /// reports *which component provided* the prediction.
+    ///
+    /// Drop-in replacement in the CBP protocol (a subsequent
+    /// [`update`](ConditionalPredictor::update) applies to it exactly as
+    /// to `predict`), guaranteed to return the same direction and leave
+    /// the predictor in the same state as `predict` would have. The
+    /// default forwards to `predict` and reports
+    /// [`PredictionAttribution::unattributed`], so implementing the
+    /// channel is optional and the plain path never pays for it.
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        (self.predict(pc), PredictionAttribution::unattributed())
+    }
 
     /// Trains the predictor with the resolved outcome of the branch that
     /// was just predicted. `record.taken` is the true direction.
@@ -30,10 +52,6 @@ pub trait ConditionalPredictor {
 
     /// A short human-readable configuration name, e.g. `"TAGE-GSC+IMLI"`.
     fn name(&self) -> &str;
-
-    /// Total predictor storage in bits (tables + histories), for the
-    /// paper's budget comparisons.
-    fn storage_bits(&self) -> u64;
 }
 
 /// The trivial static predictor (predicts every branch taken). Useful as a
@@ -51,9 +69,11 @@ impl ConditionalPredictor for AlwaysTaken {
     fn name(&self) -> &str {
         "always-taken"
     }
+}
 
-    fn storage_bits(&self) -> u64 {
-        0
+impl StorageBudget for AlwaysTaken {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        Vec::new()
     }
 }
 
@@ -99,7 +119,16 @@ mod tests {
         p.update(&BranchRecord::conditional(0x1234, 0x1000, false));
         assert!(p.predict(0x1234), "static predictor never learns");
         assert_eq!(p.storage_bits(), 0);
+        assert!(p.storage_items().is_empty());
         assert_eq!(p.name(), "always-taken");
+    }
+
+    #[test]
+    fn default_attribution_is_unattributed_and_consistent() {
+        let mut p = AlwaysTaken;
+        let (pred, attr) = p.predict_attributed(0x40);
+        assert!(pred);
+        assert_eq!(attr, PredictionAttribution::unattributed());
     }
 
     #[test]

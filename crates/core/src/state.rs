@@ -4,7 +4,7 @@ use crate::config::ImliConfig;
 use crate::counter::ImliCounter;
 use crate::outer::{ImliOh, OuterHistory};
 use crate::sic::ImliSic;
-use bp_components::{SumComponent, SumCtx};
+use bp_components::{StorageItem, SumComponent, SumCtx};
 use bp_trace::BranchRecord;
 
 /// Speculative checkpoint of the IMLI state: the counter and the PIPE
@@ -202,6 +202,17 @@ impl ImliState {
             parts.push(("outer-history+pipe".to_owned(), self.outer.storage_bits()));
         }
         parts
+    }
+
+    /// [`budget_breakdown`](ImliState::budget_breakdown) as
+    /// [`StorageItem`]s, for host predictors assembling their
+    /// [`bp_components::StorageBudget`] itemization. Sums to exactly
+    /// [`storage_bits`](ImliState::storage_bits).
+    pub fn storage_items(&self) -> Vec<StorageItem> {
+        self.budget_breakdown()
+            .into_iter()
+            .map(|(label, bits)| StorageItem::new(label, bits))
+            .collect()
     }
 }
 

@@ -1,8 +1,9 @@
 //! The GEHL predictor (Seznec 2005), with IMLI and FTL extensions.
 
 use bp_components::{
-    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, LoopPredictor, LoopPredictorConfig,
-    SignedCounterTable, SumCtx,
+    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket, LoopPredictor,
+    LoopPredictorConfig, PredictionAttribution, ProviderComponent, SignedCounterTable,
+    StorageBudget, StorageItem, SumCtx,
 };
 use bp_history::{HistoryState, LocalHistoryTable};
 use bp_trace::BranchRecord;
@@ -270,10 +271,14 @@ impl Gehl {
         }
         parts
     }
-}
 
-impl ConditionalPredictor for Gehl {
-    fn predict(&mut self, pc: u64) -> bool {
+    /// The shared prediction path behind both [`predict`] and
+    /// [`predict_attributed`] — one flow, so they can never diverge.
+    ///
+    /// [`predict`]: ConditionalPredictor::predict
+    /// [`predict_attributed`]: ConditionalPredictor::predict_attributed
+    #[inline]
+    fn predict_full(&mut self, pc: u64) -> (bool, PredictionAttribution) {
         let mut ctx = SumCtx {
             pc,
             ghist: self.history.global().low_bits(64),
@@ -299,10 +304,20 @@ impl ConditionalPredictor for Gehl {
         }
 
         let mut pred = sum >= 0;
+        let mut attribution = PredictionAttribution::new(
+            ProviderComponent::Neural,
+            None,
+            ConfidenceBucket::from_sum(sum.abs(), self.threshold.theta()),
+        );
         let mut loop_used = false;
         if let Some(lp) = &self.loop_pred {
             if let Some(loop_pred) = lp.predict(pc) {
                 if loop_pred.high_confidence {
+                    attribution = PredictionAttribution::new(
+                        ProviderComponent::Loop,
+                        Some(pred),
+                        ConfidenceBucket::High,
+                    );
                     pred = loop_pred.taken;
                     loop_used = true;
                 }
@@ -310,7 +325,17 @@ impl ConditionalPredictor for Gehl {
         }
         self.lookup = Some((ctx, sum, loop_used));
         self.last_pred = pred;
-        pred
+        (pred, attribution)
+    }
+}
+
+impl ConditionalPredictor for Gehl {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.predict_full(pc).0
+    }
+
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        self.predict_full(pc)
     }
 
     fn update(&mut self, record: &BranchRecord) {
@@ -359,9 +384,32 @@ impl ConditionalPredictor for Gehl {
     fn name(&self) -> &str {
         &self.config.name
     }
+}
 
-    fn storage_bits(&self) -> u64 {
-        self.budget_breakdown().iter().map(|(_, b)| b).sum()
+impl StorageBudget for Gehl {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        let mut items: Vec<StorageItem> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| StorageItem::new(format!("gehl/global[{i}]"), t.storage_bits()))
+            .collect();
+        for (i, t) in self.local_tables.iter().enumerate() {
+            items.push(StorageItem::new(
+                format!("gehl/local[{i}]"),
+                t.storage_bits(),
+            ));
+        }
+        if let Some(lh) = &self.local_history {
+            items.push(StorageItem::new("gehl/local-history", lh.storage_bits()));
+        }
+        if let Some(lp) = &self.loop_pred {
+            items.push(StorageItem::new("loop", lp.storage_bits()));
+        }
+        if let Some(imli) = &self.imli {
+            items.extend(imli.storage_items());
+        }
+        items
     }
 }
 

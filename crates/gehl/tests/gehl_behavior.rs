@@ -1,6 +1,6 @@
 //! Behavioural tests of the GEHL family through the public API.
 
-use bp_components::ConditionalPredictor;
+use bp_components::{ConditionalPredictor, StorageBudget};
 use bp_gehl::{Gehl, GehlConfig};
 use bp_trace::BranchRecord;
 

@@ -15,7 +15,9 @@
 #![warn(missing_docs)]
 
 use bp_components::{
-    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, SignedCounterTable, SumCtx,
+    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket,
+    PredictionAttribution, ProviderComponent, SignedCounterTable, StorageBudget, StorageItem,
+    SumCtx,
 };
 use bp_history::HistoryState;
 use bp_trace::BranchRecord;
@@ -173,8 +175,14 @@ impl HashedPerceptron {
     }
 }
 
-impl ConditionalPredictor for HashedPerceptron {
-    fn predict(&mut self, pc: u64) -> bool {
+impl HashedPerceptron {
+    /// The shared prediction path behind both [`predict`] and
+    /// [`predict_attributed`] — one flow, so they can never diverge.
+    ///
+    /// [`predict`]: ConditionalPredictor::predict
+    /// [`predict_attributed`]: ConditionalPredictor::predict_attributed
+    #[inline]
+    fn predict_full(&mut self, pc: u64) -> (bool, PredictionAttribution) {
         let mut ctx = SumCtx {
             pc,
             ghist: self.history.global().low_bits(64),
@@ -193,7 +201,24 @@ impl ConditionalPredictor for HashedPerceptron {
         }
         self.lookup = Some((ctx, sum));
         self.last_pred = sum >= 0;
-        self.last_pred
+        (
+            self.last_pred,
+            PredictionAttribution::new(
+                ProviderComponent::Neural,
+                None,
+                ConfidenceBucket::from_sum(sum.abs(), self.threshold.theta()),
+            ),
+        )
+    }
+}
+
+impl ConditionalPredictor for HashedPerceptron {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.predict_full(pc).0
+    }
+
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        self.predict_full(pc)
     }
 
     fn update(&mut self, record: &BranchRecord) {
@@ -227,14 +252,25 @@ impl ConditionalPredictor for HashedPerceptron {
     fn name(&self) -> &str {
         &self.config.name
     }
+}
 
-    fn storage_bits(&self) -> u64 {
-        let tables: u64 = self
+impl StorageBudget for HashedPerceptron {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        let mut items: Vec<StorageItem> = self
             .tables
             .iter()
-            .map(SignedCounterTable::storage_bits)
-            .sum();
-        tables + self.imli.as_ref().map_or(0, ImliState::storage_bits)
+            .enumerate()
+            .map(|(i, t)| {
+                StorageItem::new(
+                    format!("hp/weights[{i}] (h={})", self.config.segments[i]),
+                    t.storage_bits(),
+                )
+            })
+            .collect();
+        if let Some(imli) = &self.imli {
+            items.extend(imli.storage_items());
+        }
+        items
     }
 }
 

@@ -109,6 +109,7 @@ impl Engine {
                 let label = CellLabel {
                     predictor: spec.name,
                     benchmark: &bench.name,
+                    mpki: result.mpki(),
                 };
                 (result, label)
             },
@@ -130,27 +131,30 @@ impl Engine {
 pub(crate) struct CellLabel<'a> {
     pub(crate) predictor: &'a str,
     pub(crate) benchmark: &'a str,
+    pub(crate) mpki: f64,
 }
 
 /// Runs `total` independent cells across `jobs` workers with dynamic
 /// self-scheduling, returning `(result, wall seconds)` pairs in
-/// cell-index order. The worker closure returns the cell result plus
-/// its display label; completion counting happens here, under the
-/// collection lock, so progress callbacks observe a strictly increasing
-/// `completed`. Per-cell wall time is measured around the closure
-/// (generation + simulation), outside the lock. Shared with
-/// [`crate::run_suite`], whose "grid" is one predictor row.
-pub(crate) fn run_indexed<'a, F>(
+/// cell-index order. Generic over the cell payload `T` so the same
+/// scheduler drives plain [`SimResult`] grids, attributed report runs,
+/// and [`crate::run_suite`] rows. The worker closure returns the cell
+/// result plus its display label; completion counting happens here,
+/// under the collection lock, so progress callbacks observe a strictly
+/// increasing `completed`. Per-cell wall time is measured around the
+/// closure (generation + simulation), outside the lock.
+pub(crate) fn run_indexed<'a, T, F>(
     jobs: usize,
     total: usize,
     cell: F,
     progress: &(dyn Fn(CellUpdate<'_>) + Sync),
-) -> Vec<(SimResult, f64)>
+) -> Vec<(T, f64)>
 where
-    F: Fn(usize) -> (SimResult, CellLabel<'a>) + Sync,
+    T: Send,
+    F: Fn(usize) -> (T, CellLabel<'a>) + Sync,
 {
     let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, SimResult, f64)>> = Mutex::new(Vec::with_capacity(total));
+    let collected: Mutex<Vec<(usize, T, f64)>> = Mutex::new(Vec::with_capacity(total));
     let worker = || loop {
         let idx = next.fetch_add(1, Ordering::Relaxed);
         if idx >= total {
@@ -165,7 +169,7 @@ where
         progress(CellUpdate {
             predictor: label.predictor,
             benchmark: label.benchmark,
-            mpki: result.mpki(),
+            mpki: label.mpki,
             completed: results.len() + 1,
             total,
         });

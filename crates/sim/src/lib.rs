@@ -17,6 +17,10 @@
 //! * [`registry`] — every named predictor configuration of the paper's
 //!   evaluation as a structured [`PredictorSpec`] (name, family, paper
 //!   reference, factory), constructible by string name;
+//! * [`run_report`] / [`SuiteReport`] / [`simulate_stream_attributed`]
+//!   — the reporting layer: component-attributed simulation with
+//!   warmup/steady-state splits, folded into deterministic paper-style
+//!   Markdown/JSON documents (`bp report`);
 //! * [`speculative_imli_fidelity`] — the speculation-repair harness
 //!   behind the paper's §4.2.1/§4.3.2 complexity argument;
 //! * [`MispredictionProfile`] — per-static-branch misprediction
@@ -29,6 +33,7 @@
 mod analysis;
 mod engine;
 mod registry;
+mod report;
 mod run;
 mod speculative;
 mod suite;
@@ -39,6 +44,10 @@ pub use engine::{CellUpdate, Engine, GridResult};
 pub use registry::{
     family_members, lookup, make_predictor, registry, PredictorFactory, PredictorFamily,
     PredictorSpec,
+};
+pub use report::{
+    run_report, simulate_stream_attributed, AttributedRun, AttributionSummary, ComponentTally,
+    PhaseSummary, ReportRow, SuiteReport,
 };
 pub use run::{simulate, simulate_stream, Mpki, SimResult};
 pub use speculative::{speculative_imli_fidelity, SpeculationReport};

@@ -169,6 +169,7 @@ pub fn run_suite(
             let label = CellLabel {
                 predictor: "",
                 benchmark: &spec.name,
+                mpki: result.mpki(),
             };
             (result, label)
         },

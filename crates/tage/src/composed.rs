@@ -2,7 +2,10 @@
 
 use crate::sc::{LocalScConfig, ScConfig, StatisticalCorrector};
 use crate::tage::{Tage, TageConfig};
-use bp_components::{ConditionalPredictor, LoopPredictor, LoopPredictorConfig};
+use bp_components::{
+    ConditionalPredictor, ConfidenceBucket, LoopPredictor, LoopPredictorConfig,
+    PredictionAttribution, ProviderComponent, StorageBudget, StorageItem,
+};
 use bp_trace::BranchRecord;
 use imli::{ImliCheckpoint, ImliConfig};
 
@@ -189,24 +192,66 @@ impl TageSc {
         }
         parts
     }
-}
 
-impl ConditionalPredictor for TageSc {
-    fn predict(&mut self, pc: u64) -> bool {
+    /// The shared prediction path behind both [`predict`] and
+    /// [`predict_attributed`]: one flow, so the two can never diverge;
+    /// the attribution is assembled from values the prediction needs
+    /// anyway and optimizes away when the caller drops it.
+    ///
+    /// [`predict`]: ConditionalPredictor::predict
+    /// [`predict_attributed`]: ConditionalPredictor::predict_attributed
+    #[inline]
+    fn predict_full(&mut self, pc: u64) -> (bool, PredictionAttribution) {
         let tl = self.tage.lookup(pc);
         let ghist = self.tage.history().global().low_bits(self.ghist_window);
         let path = self.tage.history().path();
         let sl = self.sc.predict(pc, tl.pred, tl.low_confidence, ghist, path);
         let mut pred = sl.pred;
+        let mut attribution = if sl.pred != tl.pred {
+            // The corrector reverted TAGE; the alternate is TAGE itself.
+            PredictionAttribution::new(
+                ProviderComponent::Corrector,
+                Some(tl.pred),
+                ConfidenceBucket::from_sum(sl.sum().abs(), self.sc.theta()),
+            )
+        } else {
+            PredictionAttribution::new(
+                match tl.providing_bank() {
+                    Some(bank) => ProviderComponent::Tagged(bank as u8),
+                    None => ProviderComponent::Base,
+                },
+                Some(tl.alternate_pred()),
+                if tl.low_confidence {
+                    ConfidenceBucket::Low
+                } else {
+                    ConfidenceBucket::High
+                },
+            )
+        };
         if let Some(lp) = &self.loop_pred {
             if let Some(loop_pred) = lp.predict(pc) {
                 if loop_pred.high_confidence {
+                    attribution = PredictionAttribution::new(
+                        ProviderComponent::Loop,
+                        Some(pred),
+                        ConfidenceBucket::High,
+                    );
                     pred = loop_pred.taken;
                 }
             }
         }
         self.last_pred = pred;
-        pred
+        (pred, attribution)
+    }
+}
+
+impl ConditionalPredictor for TageSc {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.predict_full(pc).0
+    }
+
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        self.predict_full(pc)
     }
 
     fn update(&mut self, record: &BranchRecord) {
@@ -235,9 +280,26 @@ impl ConditionalPredictor for TageSc {
     fn name(&self) -> &str {
         &self.name
     }
+}
 
-    fn storage_bits(&self) -> u64 {
-        self.budget_breakdown().iter().map(|(_, b)| b).sum()
+impl StorageBudget for TageSc {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        let mut items: Vec<StorageItem> = self
+            .tage
+            .storage_items()
+            .into_iter()
+            .map(|i| i.prefixed("tage"))
+            .collect();
+        items.extend(
+            self.sc
+                .storage_items()
+                .into_iter()
+                .map(|i| i.prefixed("sc")),
+        );
+        if let Some(lp) = &self.loop_pred {
+            items.push(StorageItem::new("loop", lp.storage_bits()));
+        }
+        items
     }
 }
 

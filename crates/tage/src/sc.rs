@@ -7,7 +7,7 @@
 //! prediction is the sign of the sum; counters train on a misprediction
 //! or when the sum's magnitude falls below an adaptive threshold.
 
-use bp_components::{mix64, pc_bits, AdaptiveThreshold, SignedCounterTable, SumCtx};
+use bp_components::{mix64, pc_bits, AdaptiveThreshold, SignedCounterTable, StorageItem, SumCtx};
 use bp_history::LocalHistoryTable;
 use bp_trace::BranchRecord;
 use imli::{ImliConfig, ImliSic, ImliState};
@@ -125,6 +125,15 @@ pub struct ScLookup {
     sum: i32,
     /// The corrector's final prediction (sign of the sum).
     pub pred: bool,
+}
+
+impl ScLookup {
+    /// The summed corrector vote (including the weighted TAGE vote);
+    /// its magnitude against the adaptive threshold is the corrector's
+    /// confidence signal.
+    pub fn sum(&self) -> i32 {
+        self.sum
+    }
 }
 
 /// The statistical corrector stage. See the module docs.
@@ -304,22 +313,38 @@ impl StatisticalCorrector {
         }
     }
 
+    /// The current adaptive update threshold θ (the corrector's
+    /// confidence yardstick).
+    pub fn theta(&self) -> i32 {
+        self.threshold.theta()
+    }
+
     /// Storage in bits across every configured structure.
     pub fn storage_bits(&self) -> u64 {
-        let mut bits = self.bias1.storage_bits() + self.bias2.storage_bits();
-        for t in &self.global_tables {
-            bits += t.storage_bits();
+        self.storage_items().iter().map(|i| i.bits).sum()
+    }
+
+    /// Itemized storage: bias tables, global/local GEHL tables, local
+    /// histories, IMLI structures, and the adaptive-threshold registers.
+    pub fn storage_items(&self) -> Vec<StorageItem> {
+        let mut items = vec![
+            StorageItem::new("bias[0]", self.bias1.storage_bits()),
+            StorageItem::new("bias[1]", self.bias2.storage_bits()),
+        ];
+        for (i, t) in self.global_tables.iter().enumerate() {
+            items.push(StorageItem::new(format!("global[{i}]"), t.storage_bits()));
         }
-        for t in &self.local_tables {
-            bits += t.storage_bits();
+        for (i, t) in self.local_tables.iter().enumerate() {
+            items.push(StorageItem::new(format!("local[{i}]"), t.storage_bits()));
         }
         if let Some(lh) = &self.local_history {
-            bits += lh.storage_bits();
+            items.push(StorageItem::new("local-history", lh.storage_bits()));
         }
         if let Some(imli) = &self.imli {
-            bits += imli.storage_bits();
+            items.extend(imli.storage_items());
         }
-        bits + self.threshold.storage_bits()
+        items.push(StorageItem::new("threshold", self.threshold.storage_bits()));
+        items
     }
 }
 

@@ -1,6 +1,6 @@
 //! The TAGE predictor (Seznec & Michaud 2006; Seznec 2011).
 
-use bp_components::{fold_u64, pc_bits, BimodalTable, SaturatingCounter};
+use bp_components::{fold_u64, pc_bits, BimodalTable, SaturatingCounter, StorageItem};
 use bp_history::HistoryState;
 
 /// Geometry of a [`Tage`] predictor.
@@ -116,6 +116,62 @@ pub struct TageLookup {
     pub low_confidence: bool,
     /// True when the provider entry looks newly allocated.
     weak_newalloc: bool,
+    /// True when the final prediction came from the alternate component
+    /// (the `use_alt_on_na` policy overrode a weak new allocation).
+    alt_used: bool,
+}
+
+impl TageLookup {
+    /// The matching tagged bank that provided the prediction (`None` =
+    /// the bimodal base).
+    pub fn provider(&self) -> Option<usize> {
+        self.provider
+    }
+
+    /// The alternate component: the next-longest matching tagged bank,
+    /// or `None` for the bimodal base.
+    pub fn alt(&self) -> Option<usize> {
+        self.alt
+    }
+
+    /// The provider component's own prediction.
+    pub fn provider_pred(&self) -> bool {
+        self.provider_pred
+    }
+
+    /// The alternate component's prediction.
+    pub fn alt_pred(&self) -> bool {
+        self.alt_pred
+    }
+
+    /// Whether the final prediction came from the alternate component
+    /// rather than the provider (`use_alt_on_na` override of a weak new
+    /// allocation).
+    pub fn alt_used(&self) -> bool {
+        self.alt_used
+    }
+
+    /// The bank that actually supplied the final prediction: the
+    /// alternate when [`alt_used`](TageLookup::alt_used), the provider
+    /// otherwise (`None` = the bimodal base).
+    pub fn providing_bank(&self) -> Option<usize> {
+        if self.alt_used {
+            self.alt
+        } else {
+            self.provider
+        }
+    }
+
+    /// What the losing TAGE path would have predicted: the provider's
+    /// prediction when the alternate was used, the alternate's
+    /// prediction otherwise.
+    pub fn alternate_pred(&self) -> bool {
+        if self.alt_used {
+            self.provider_pred
+        } else {
+            self.alt_pred
+        }
+    }
 }
 
 /// The TAGE predictor: a bimodal base plus `N` partially tagged tables
@@ -247,11 +303,8 @@ impl Tage {
         };
         // Newly allocated entries are statistically less accurate than
         // the alternate prediction; use_alt_on_na adapts the choice.
-        let pred = if provider.is_some() && weak_newalloc && self.use_alt_on_na.is_taken() {
-            alt_pred
-        } else {
-            provider_pred
-        };
+        let alt_used = provider.is_some() && weak_newalloc && self.use_alt_on_na.is_taken();
+        let pred = if alt_used { alt_pred } else { provider_pred };
         let lookup = TageLookup {
             indices,
             tags,
@@ -262,6 +315,7 @@ impl Tage {
             pred,
             low_confidence,
             weak_newalloc,
+            alt_used,
         };
         self.lookup = Some(lookup.clone());
         lookup
@@ -387,14 +441,25 @@ impl Tage {
 
     /// Total storage in bits (base + tagged tables + use-alt counter).
     pub fn storage_bits(&self) -> u64 {
-        let mut bits = self.base.storage_bits();
+        self.storage_items().iter().map(|i| i.bits).sum()
+    }
+
+    /// Itemized storage: the shared-hysteresis base, every tagged bank
+    /// (entries × (counter + useful + tag) bits), and the `use_alt_on_na`
+    /// register.
+    pub fn storage_items(&self) -> Vec<StorageItem> {
+        let mut items = vec![StorageItem::new("base", self.base.storage_bits())];
         for (i, table) in self.tables.iter().enumerate() {
             let per_entry = (self.config.counter_bits
                 + self.config.useful_bits
                 + self.config.tag_bits[i]) as u64;
-            bits += table.len() as u64 * per_entry;
+            items.push(StorageItem::new(
+                format!("tagged[{i}]"),
+                table.len() as u64 * per_entry,
+            ));
         }
-        bits + 4
+        items.push(StorageItem::new("use-alt-on-na", 4));
+        items
     }
 }
 

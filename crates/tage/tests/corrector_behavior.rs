@@ -1,7 +1,7 @@
 //! Behavioural tests of the statistical corrector and the composed
 //! TAGE-SC predictors through the public API.
 
-use bp_components::ConditionalPredictor;
+use bp_components::{ConditionalPredictor, StorageBudget};
 use bp_tage::{ScConfig, StatisticalCorrector, TageSc, TageScConfig};
 use bp_trace::BranchRecord;
 use imli::ImliConfig;

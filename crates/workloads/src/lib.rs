@@ -52,4 +52,6 @@ pub use kernels::{Kernel, KernelSpec, TripCount};
 pub use sink::RecordSink;
 pub use spec::{generate, BenchmarkSpec};
 pub use stream::{stream_benchmark, BenchmarkStream};
-pub use suites::{cbp3_suite, cbp4_suite, find_benchmark, quick_benchmark, suite_by_name};
+pub use suites::{
+    cbp3_suite, cbp4_suite, find_benchmark, paper_suite, quick_benchmark, suite_by_name,
+};

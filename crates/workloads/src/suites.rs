@@ -354,11 +354,36 @@ pub fn cbp3_suite() -> Vec<BenchmarkSpec> {
     suite
 }
 
-/// Looks a suite up by name: `"cbp4"` or `"cbp3"` (case-insensitive).
+/// The paper-analysis meta-suite: the eight benchmarks the paper
+/// singles out for per-benchmark discussion, across both sets — the
+/// planted-correlation showcases (SPEC2K6-04, SPEC2K6-12, MM-4,
+/// CLIENT02, MM07, WS03, WS04) plus one generic control (SPEC2K6-01).
+/// Small enough for a quick attributed report, expressive enough that
+/// every IMLI/WH component shows its signature benchmark.
+pub fn paper_suite() -> Vec<BenchmarkSpec> {
+    let names = [
+        "SPEC2K6-01",
+        "SPEC2K6-04",
+        "SPEC2K6-12",
+        "MM-4",
+        "CLIENT02",
+        "MM07",
+        "WS03",
+        "WS04",
+    ];
+    names
+        .iter()
+        .map(|n| find_benchmark(n).expect("paper benchmark registered"))
+        .collect()
+}
+
+/// Looks a suite up by name: `"cbp4"`, `"cbp3"`, or `"paper"` (the
+/// [`paper_suite`] subset), case-insensitive.
 pub fn suite_by_name(name: &str) -> Option<Vec<BenchmarkSpec>> {
     match name.to_ascii_lowercase().as_str() {
         "cbp4" => Some(cbp4_suite()),
         "cbp3" => Some(cbp3_suite()),
+        "paper" => Some(paper_suite()),
         _ => None,
     }
 }
@@ -448,6 +473,24 @@ mod tests {
         assert!(suite_by_name("CBP4").is_some());
         assert!(suite_by_name("cbp3").is_some());
         assert!(suite_by_name("cbp5").is_none());
+        assert_eq!(suite_by_name("paper").unwrap().len(), paper_suite().len());
+    }
+
+    #[test]
+    fn paper_suite_is_the_analysis_subset() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 8);
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        for name in [
+            "SPEC2K6-04",
+            "SPEC2K6-12",
+            "MM-4",
+            "CLIENT02",
+            "MM07",
+            "WS04",
+        ] {
+            assert!(names.contains(&name), "{name} missing from paper suite");
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Bolting the wormhole side predictor onto a main predictor.
 
 use crate::predictor::{Wormhole, WormholeConfig};
-use bp_components::{ConditionalPredictor, LoopPredictor, LoopPredictorConfig};
+use bp_components::{
+    ConditionalPredictor, ConfidenceBucket, LoopPredictor, LoopPredictorConfig,
+    PredictionAttribution, ProviderComponent, StorageBudget, StorageItem,
+};
 use bp_trace::BranchRecord;
 
 /// A main predictor augmented with the wormhole side predictor, as in the
@@ -60,19 +63,44 @@ impl<P: ConditionalPredictor> WormholeAugmented<P> {
     fn current_trip(&self) -> Option<u32> {
         Some(self.loops.trip_count(self.last_backward_pc?)? + 1)
     }
+
+    /// The shared prediction path behind both [`predict`] and
+    /// [`predict_attributed`] — one flow, so they can never diverge.
+    /// The wrapped main predictor is driven through its own attributed
+    /// path, which it guarantees identical to its plain path.
+    ///
+    /// [`predict`]: ConditionalPredictor::predict
+    /// [`predict_attributed`]: ConditionalPredictor::predict_attributed
+    #[inline]
+    fn predict_full(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        let (main_pred, main_attr) = self.main.predict_attributed(pc);
+        let trip = self.current_trip();
+        self.last_trip = trip;
+        let (pred, attribution) = match self.wormhole.predict(pc, trip, main_pred) {
+            // A confident wormhole hit subsumes the main prediction,
+            // which becomes the alternate.
+            Some(wh) if wh.confident => (
+                wh.taken,
+                PredictionAttribution::new(
+                    ProviderComponent::Wormhole,
+                    Some(main_pred),
+                    ConfidenceBucket::High,
+                ),
+            ),
+            _ => (main_pred, main_attr),
+        };
+        self.last_pred = pred;
+        (pred, attribution)
+    }
 }
 
 impl<P: ConditionalPredictor> ConditionalPredictor for WormholeAugmented<P> {
     fn predict(&mut self, pc: u64) -> bool {
-        let main_pred = self.main.predict(pc);
-        let trip = self.current_trip();
-        self.last_trip = trip;
-        let pred = match self.wormhole.predict(pc, trip, main_pred) {
-            Some(wh) if wh.confident => wh.taken,
-            _ => main_pred,
-        };
-        self.last_pred = pred;
-        pred
+        self.predict_full(pc).0
+    }
+
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        self.predict_full(pc)
     }
 
     fn update(&mut self, record: &BranchRecord) {
@@ -95,9 +123,14 @@ impl<P: ConditionalPredictor> ConditionalPredictor for WormholeAugmented<P> {
     fn name(&self) -> &str {
         &self.name
     }
+}
 
-    fn storage_bits(&self) -> u64 {
-        self.main.storage_bits() + self.wormhole.storage_bits() + self.loops.storage_bits()
+impl<P: ConditionalPredictor> StorageBudget for WormholeAugmented<P> {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        let mut items = self.main.storage_items();
+        items.push(StorageItem::new("wormhole", self.wormhole.storage_bits()));
+        items.push(StorageItem::new("wh-loop", self.loops.storage_bits()));
+        items
     }
 }
 

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use imli_repro::components::ConditionalPredictor;
+use imli_repro::components::StorageBudget;
 use imli_repro::sim::simulate;
 use imli_repro::tage::TageSc;
 use imli_repro::workloads::quick_benchmark;

@@ -17,6 +17,12 @@
 //!         [--family F] [--predictors a,b,c]
 //!                               the full (predictor × benchmark) grid on
 //!                               the parallel engine
+//! bp report <suite> [--jobs N] [--instr N] [--warmup N] [--json]
+//!           [--family F] [--predictors a,b,c] [--out-dir D]
+//!                               attributed grid run emitting the
+//!                               deterministic paper-style report to
+//!                               REPORT_<suite>.md / REPORT_<suite>.json
+//!                               (suites: cbp4, cbp3, paper)
 //! bp bench [--quick] [--instr N] [--out FILE]
 //!                               trace-I/O throughput benchmark (v1 vs v2
 //!                               write/read/simulate); emits
@@ -25,8 +31,8 @@
 
 use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
 use imli_repro::sim::{
-    family_members, lookup, make_predictor, registry, simulate, simulate_stream, Engine,
-    MispredictionProfile, PredictorFamily, PredictorSpec, TextTable,
+    family_members, lookup, make_predictor, registry, run_report, simulate, simulate_stream,
+    Engine, MispredictionProfile, PredictorFamily, PredictorSpec, TextTable,
 };
 use imli_repro::trace::{read_trace, write_trace, Trace, TraceReader};
 use imli_repro::workloads::{
@@ -42,6 +48,8 @@ fn usage() -> ExitCode {
          bp simulate <config> <bench-or-file> [instr]\n  bp profile <config> <bench> [instr] [top]\n  \
          bp compare <bench> [instr]\n  \
          bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c]\n  \
+         bp report <suite> [--jobs N] [--instr N] [--warmup N] [--json] [--family F] \
+         [--predictors a,b,c] [--out-dir D]\n  \
          bp bench [--quick] [--instr N] [--out FILE]"
     );
     ExitCode::FAILURE
@@ -171,6 +179,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
             Ok(())
         }
         ["grid", suite, ..] => run_grid(suite, &args[2..]),
+        ["report", suite, ..] => run_report_cmd(suite, &args[2..]),
         ["bench", ..] => run_bench(&args[1..]),
         ["compare", bench] | ["compare", bench, _] => {
             let instructions = args
@@ -199,16 +208,37 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
     .map(Some)
 }
 
-/// Parses and runs `bp grid <suite> [--jobs N] [--json] [--instr N]
-/// [--family F] [--predictors a,b,c]`.
-fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
-    let benchmarks = suite_by_name(suite_name)
-        .ok_or_else(|| format!("unknown suite {suite_name} (try cbp4 or cbp3)"))?;
+/// Flags shared by the `bp grid` and `bp report` sweep commands, plus
+/// the report-only extras (`--warmup`, `--out-dir`), which `grid`
+/// rejects as unknown.
+struct SweepFlags {
+    jobs: Option<usize>,
+    json: bool,
+    instructions: u64,
+    predictors: Vec<PredictorSpec>,
+    warmup: Option<u64>,
+    out_dir: String,
+}
 
-    let mut jobs: Option<usize> = None;
-    let mut json = false;
-    let mut instructions: u64 = 1_000_000;
-    let mut predictors: Vec<PredictorSpec> = registry();
+/// Parses the shared sweep flags (`--jobs`, `--instr`, `--json`,
+/// `--family`, `--predictors`). `command` names the subcommand for
+/// error messages; `report_flags` additionally enables `--warmup` and
+/// `--out-dir`.
+fn parse_sweep_flags(
+    command: &str,
+    flags: &[String],
+    default_instructions: u64,
+    initial_predictors: Vec<PredictorSpec>,
+    report_flags: bool,
+) -> Result<SweepFlags, String> {
+    let mut parsed = SweepFlags {
+        jobs: None,
+        json: false,
+        instructions: default_instructions,
+        predictors: initial_predictors,
+        warmup: None,
+        out_dir: ".".to_owned(),
+    };
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
@@ -219,7 +249,7 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--jobs" => {
                 let v = value("worker count")?;
-                jobs = Some(
+                parsed.jobs = Some(
                     v.parse::<usize>()
                         .ok()
                         .filter(|&n| n >= 1)
@@ -227,9 +257,9 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
                 );
             }
             "--instr" => {
-                instructions = parse_u64(value("instruction count")?, "instruction count")?;
+                parsed.instructions = parse_u64(value("instruction count")?, "instruction count")?;
             }
-            "--json" => json = true,
+            "--json" => parsed.json = true,
             "--family" => {
                 let v = value("family name")?;
                 let family = PredictorFamily::ALL
@@ -238,11 +268,11 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
                     .ok_or_else(|| {
                         format!("unknown family {v} (tage, gehl, perceptron, baseline)")
                     })?;
-                predictors = family_members(family);
+                parsed.predictors = family_members(family);
             }
             "--predictors" => {
                 let v = value("comma-separated list")?;
-                predictors = v
+                parsed.predictors = v
                     .split(',')
                     .map(|name| {
                         lookup(name.trim()).ok_or_else(|| {
@@ -254,9 +284,30 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
-            other => return Err(format!("unknown grid flag {other}")),
+            "--warmup" if report_flags => {
+                parsed.warmup = Some(parse_u64(value("instruction count")?, "instruction count")?);
+            }
+            "--out-dir" if report_flags => {
+                parsed.out_dir = value("directory")?.to_owned();
+            }
+            other => return Err(format!("unknown {command} flag {other}")),
         }
     }
+    Ok(parsed)
+}
+
+/// Parses and runs `bp grid <suite> [--jobs N] [--json] [--instr N]
+/// [--family F] [--predictors a,b,c]`.
+fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
+    let benchmarks = suite_by_name(suite_name)
+        .ok_or_else(|| format!("unknown suite {suite_name} (try cbp4, cbp3, or paper)"))?;
+    let SweepFlags {
+        jobs,
+        json,
+        instructions,
+        predictors,
+        ..
+    } = parse_sweep_flags("grid", flags, 1_000_000, registry(), false)?;
 
     let engine = jobs.map_or_else(Engine::new, Engine::with_jobs);
     let started = std::time::Instant::now();
@@ -300,6 +351,121 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
             instructions,
             engine.jobs(),
             elapsed.as_secs_f64(),
+        );
+    }
+    Ok(())
+}
+
+/// The default configuration set of `bp report paper`: the Table 1/2
+/// ablation ladders plus the WH comparison points, in table order.
+const PAPER_REPORT_PREDICTORS: [&str; 12] = [
+    "tage-gsc",
+    "tage-gsc+sic",
+    "tage-gsc+imli",
+    "tage-gsc+wh",
+    "tage-sc-l",
+    "tage-sc-l+imli",
+    "gehl",
+    "gehl+imli",
+    "gehl+wh",
+    "ftl",
+    "ftl+imli",
+    "perceptron+imli",
+];
+
+/// Parses and runs `bp report <suite> [--jobs N] [--instr N]
+/// [--warmup N] [--json] [--family F] [--predictors a,b,c]
+/// [--out-dir D]`: the attributed (predictor × benchmark) grid, folded
+/// into the deterministic paper-style report and written to
+/// `REPORT_<suite>.md` / `REPORT_<suite>.json`.
+///
+/// The `paper` suite is the quick path: the eight benchmarks the paper
+/// analyzes per-name, against the Table 1/2 configuration ladder. The
+/// report depends only on its inputs — two runs with the same flags
+/// produce byte-identical files.
+fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
+    let benchmarks = suite_by_name(suite_name)
+        .ok_or_else(|| format!("unknown suite {suite_name} (try cbp4, cbp3, or paper)"))?;
+    let default_predictors: Vec<PredictorSpec> = if suite_name.eq_ignore_ascii_case("paper") {
+        PAPER_REPORT_PREDICTORS
+            .iter()
+            .map(|n| lookup(n).expect("paper report predictors are registered"))
+            .collect()
+    } else {
+        registry()
+    };
+    let SweepFlags {
+        jobs,
+        json,
+        instructions,
+        predictors,
+        warmup,
+        out_dir,
+    } = parse_sweep_flags("report", flags, 500_000, default_predictors, true)?;
+    // Default warmup: the first fifth of each benchmark.
+    let warmup = warmup.unwrap_or(instructions / 5);
+    if warmup >= instructions {
+        return Err(format!(
+            "warmup ({warmup}) must be smaller than the instruction budget ({instructions})"
+        ));
+    }
+
+    let engine = jobs.map_or_else(Engine::new, Engine::with_jobs);
+    let show_progress = !json;
+    let report = run_report(
+        &suite_name.to_ascii_lowercase(),
+        &predictors,
+        &benchmarks,
+        instructions,
+        warmup,
+        engine.jobs(),
+        &|update| {
+            if show_progress {
+                eprint!(
+                    "\r[{}/{}] {} on {} ({:.3} MPKI)          ",
+                    update.completed, update.total, update.predictor, update.benchmark, update.mpki
+                );
+                let _ = std::io::stderr().flush();
+            }
+        },
+    );
+    if show_progress {
+        eprintln!();
+    }
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let stem = format!("REPORT_{}", suite_name.to_ascii_lowercase());
+    let md_path = std::path::Path::new(&out_dir).join(format!("{stem}.md"));
+    let json_path = std::path::Path::new(&out_dir).join(format!("{stem}.json"));
+    let markdown = report.to_markdown();
+    let json_doc = report.to_json();
+    std::fs::write(&md_path, &markdown)
+        .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+    std::fs::write(&json_path, &json_doc)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+
+    if json {
+        print!("{json_doc}");
+    } else {
+        let mut table = TextTable::new(vec!["config", "mean MPKI", "steady MPKI", "Kbit"]);
+        for row in &report.rows {
+            table.row(vec![
+                row.name.clone(),
+                format!("{:.3}", row.mean_mpki()),
+                format!("{:.3}", row.steady_mpki()),
+                format!("{:.0}", row.storage_kbit()),
+            ]);
+        }
+        println!(
+            "{} report: {} predictors x {} benchmarks at {} instructions (warmup {})\n{table}\
+             wrote {} and {}",
+            suite_name,
+            report.rows.len(),
+            report.benchmarks.len(),
+            instructions,
+            warmup,
+            md_path.display(),
+            json_path.display(),
         );
     }
     Ok(())

@@ -16,10 +16,15 @@
 //! * [`perceptron`] — a hashed-perceptron host demonstrating the "any
 //!   neural-inspired predictor" claim,
 //! * [`workloads`] — synthetic CBP-like benchmark suites,
-//! * [`sim`] — the trace-driven simulator, predictor registry and
-//!   experiment harnesses,
-//! * [`bench`] — experiment harness helpers and the trace-I/O
+//! * [`sim`] — the trace-driven simulator, predictor registry,
+//!   experiment harnesses, and the attributed reporting layer behind
+//!   `bp report`,
+//! * [`mod@bench`] — experiment harness helpers and the trace-I/O
 //!   throughput benchmark behind `bp bench`.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate
+//! dependency graph and the trace → stream → engine → analysis →
+//! report data flow.
 //!
 //! ## Quickstart
 //!
