@@ -18,9 +18,10 @@
 
 #![warn(missing_docs)]
 
-use bp_sim::{lookup, run_suite, Engine, PredictorSpec, SuiteResult};
+use bp_sim::{lookup, run_suite, Engine, GridStrategy, PredictorSpec, SuiteResult};
 use bp_workloads::{cbp3_suite, cbp4_suite, BenchmarkSpec};
 
+pub mod sim_bench;
 pub mod trace_bench;
 
 /// Per-benchmark instruction budget (`IMLI_REPRO_INSTR`, default 2M).
@@ -52,6 +53,13 @@ pub fn run_config(config: &str, specs: &[BenchmarkSpec]) -> SuiteResult {
 /// are scheduled together, so the slowest configuration no longer
 /// serializes the sweep. Results come back in `configs` order.
 ///
+/// The experiment binaries sweep many configurations over the same
+/// suite, the exact shape the engine's fused column mode is for: each
+/// benchmark stream is generated **once** and every configuration
+/// consumes it in the same pass, instead of regenerating the stream
+/// once per configuration. Results are bit-identical to per-cell runs
+/// (the engine guarantees and tests this).
+///
 /// # Panics
 ///
 /// Panics if any name in `configs` is not a registry name.
@@ -60,7 +68,9 @@ pub fn run_configs(configs: &[&str], specs: &[BenchmarkSpec]) -> Vec<SuiteResult
         .iter()
         .map(|c| lookup(c).unwrap_or_else(|| panic!("unknown predictor {c}")))
         .collect();
-    let grid = Engine::new().run_grid(&predictors, specs, instruction_budget());
+    let grid = Engine::new()
+        .with_strategy(GridStrategy::FusedColumns)
+        .run_grid(&predictors, specs, instruction_budget());
     configs
         .iter()
         .map(|c| grid.suite_result(c).expect("row for every config"))

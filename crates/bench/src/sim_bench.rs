@@ -1,0 +1,368 @@
+//! The simulator throughput benchmark behind `bp bench --sim`.
+//!
+//! Two legs:
+//!
+//! * **predictor throughput** — one representative configuration per
+//!   family (plus the flagship TAGE-SC-L ladder) simulated over a
+//!   pre-materialized in-memory trace, best-of-3 wall time. This
+//!   isolates the predict/update hot path from trace generation, so it
+//!   is the number that moves when the predictors themselves get
+//!   faster. When a baseline report is supplied, per-predictor speedups
+//!   are embedded — this is how `BENCH_sim.json` records the
+//!   before/after of the zero-allocation hot-path work.
+//! * **grid scheduling** — the full 12×8 paper-report grid
+//!   ([`bp_sim::paper_report_predictors`] × `paper_suite`) run once
+//!   per-cell and once with fused benchmark columns
+//!   ([`bp_sim::GridStrategy`]), wall-clocked end to end. The two
+//!   [`bp_sim::GridResult`]s are compared cell-for-cell; a mismatch
+//!   fails the bench, so every `bp bench --sim` run re-proves the fused
+//!   engine bit-identical.
+//!
+//! The report serializes to `BENCH_sim.json`, the simulator's
+//! performance-trajectory artifact (sibling of `BENCH_trace_io.json`).
+
+use crate::trace_bench::{json_f64, json_string};
+use bp_sim::{lookup, paper_report_predictors, simulate, Engine, GridStrategy};
+use bp_workloads::{cbp4_suite, generate, paper_suite};
+use std::time::Instant;
+
+/// Throughput-leg repetitions; the minimum is reported.
+const REPS: usize = 3;
+
+/// The registry configurations measured by the throughput leg: the
+/// calibration baselines, one host per family, and the TAGE ladder up
+/// to the flagship TAGE-SC-L(+IMLI).
+pub const THROUGHPUT_PREDICTORS: [&str; 10] = [
+    "bimodal",
+    "gshare",
+    "perceptron",
+    "perceptron+imli",
+    "gehl",
+    "gehl+imli",
+    "tage-gsc",
+    "tage-gsc+imli",
+    "tage-sc-l",
+    "tage-sc-l+imli",
+];
+
+/// Measured simulate-path throughput of one predictor configuration.
+#[derive(Debug, Clone)]
+pub struct PredictorThroughput {
+    /// Registry name.
+    pub name: String,
+    /// Host family label.
+    pub family: String,
+    /// Branch records in the measured trace.
+    pub records: u64,
+    /// Best-of-3 seconds for one cold simulate pass.
+    pub seconds: f64,
+    /// Records per second of the best pass.
+    pub records_per_sec: f64,
+    /// The same figure from the supplied baseline report, if any.
+    pub baseline_records_per_sec: Option<f64>,
+}
+
+impl PredictorThroughput {
+    /// Throughput relative to the baseline (`None` without a baseline
+    /// or for a degenerate baseline measurement).
+    pub fn speedup(&self) -> Option<f64> {
+        let base = self.baseline_records_per_sec?;
+        (base > 0.0).then(|| self.records_per_sec / base)
+    }
+}
+
+/// Wall-clock comparison of the two grid scheduling strategies on the
+/// paper-report grid.
+#[derive(Debug, Clone)]
+pub struct GridLeg {
+    /// Predictor rows in the grid.
+    pub predictors: usize,
+    /// Benchmark columns in the grid.
+    pub benchmarks: usize,
+    /// Instructions per benchmark.
+    pub instructions: u64,
+    /// Engine worker count used for both runs.
+    pub jobs: usize,
+    /// Wall seconds of the per-cell run.
+    pub per_cell_seconds: f64,
+    /// Wall seconds of the fused-columns run.
+    pub fused_seconds: f64,
+    /// Whether the two [`bp_sim::GridResult`]s compared equal
+    /// cell-for-cell (they must; `false` means a fused-engine bug).
+    pub fused_matches_per_cell: bool,
+}
+
+impl GridLeg {
+    /// Per-cell wall time over fused wall time (> 1 means fusing won).
+    pub fn fused_speedup(&self) -> f64 {
+        if self.fused_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.per_cell_seconds / self.fused_seconds
+    }
+}
+
+/// The full `bp bench --sim` report.
+#[derive(Debug, Clone)]
+pub struct SimBenchReport {
+    /// Instruction budget of the throughput-leg trace.
+    pub instructions: u64,
+    /// Benchmark the throughput leg simulates.
+    pub benchmark: String,
+    /// Per-configuration throughput measurements.
+    pub predictors: Vec<PredictorThroughput>,
+    /// The per-cell vs fused grid comparison.
+    pub grid: GridLeg,
+}
+
+impl SimBenchReport {
+    /// The throughput entry for one registry name.
+    pub fn throughput(&self, name: &str) -> Option<&PredictorThroughput> {
+        self.predictors.iter().find(|p| p.name == name)
+    }
+
+    /// Serializes the report as pretty-printed JSON. Each predictor
+    /// object occupies exactly one line — the format
+    /// [`parse_predictor_throughputs`] relies on when a later run
+    /// embeds this report as its baseline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"sim\",\n");
+        out.push_str(&format!("  \"instructions\": {},\n", self.instructions));
+        out.push_str(&format!(
+            "  \"benchmark\": {},\n",
+            json_string(&self.benchmark)
+        ));
+        out.push_str("  \"predictors\": [\n");
+        for (i, p) in self.predictors.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"family\": {}, \"records\": {}, \"seconds\": {}, \
+                 \"records_per_sec\": {}",
+                json_string(&p.name),
+                json_string(&p.family),
+                p.records,
+                json_f64(p.seconds),
+                json_f64(p.records_per_sec),
+            ));
+            if let Some(base) = p.baseline_records_per_sec {
+                out.push_str(&format!(
+                    ", \"baseline_records_per_sec\": {}, \"speedup\": {}",
+                    json_f64(base),
+                    json_f64(p.speedup().unwrap_or(0.0)),
+                ));
+            }
+            out.push_str(if i + 1 < self.predictors.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let g = &self.grid;
+        out.push_str(&format!(
+            "  \"grid\": {{\"predictors\": {}, \"benchmarks\": {}, \"instructions\": {}, \
+             \"jobs\": {},\n           \"per_cell_seconds\": {}, \"fused_seconds\": {}, \
+             \"fused_speedup\": {}, \"fused_matches_per_cell\": {}}}\n",
+            g.predictors,
+            g.benchmarks,
+            g.instructions,
+            g.jobs,
+            json_f64(g.per_cell_seconds),
+            json_f64(g.fused_seconds),
+            json_f64(g.fused_speedup()),
+            g.fused_matches_per_cell,
+        ));
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+/// Extracts `(name, records_per_sec)` pairs from a previously emitted
+/// [`SimBenchReport::to_json`] document (the workspace has no JSON
+/// parser; the emitter keeps each predictor object on one line exactly
+/// so this scan stays trivial).
+pub fn parse_predictor_throughputs(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(rate) = field_f64(line, "\"records_per_sec\": ") else {
+            continue;
+        };
+        out.push((name.to_owned(), rate));
+    }
+    out
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let value = f();
+    (value, started.elapsed().as_secs_f64())
+}
+
+/// Runs the simulator benchmark: the throughput leg at `instructions`
+/// retired instructions, the grid leg at `grid_instructions` per
+/// benchmark. `baseline` maps registry names to a previous run's
+/// records/sec (see [`parse_predictor_throughputs`]); pass `&[]` for a
+/// standalone run.
+///
+/// # Panics
+///
+/// Panics if the fused grid does not match the per-cell grid
+/// cell-for-cell — that would mean the fused engine changes simulation
+/// results, and no benchmark number is worth reporting past that.
+pub fn run_sim_bench(
+    instructions: u64,
+    grid_instructions: u64,
+    baseline: &[(String, f64)],
+) -> SimBenchReport {
+    // Throughput leg: pre-materialize the trace so the measurement is
+    // the simulate path alone, not generation.
+    let spec = &cbp4_suite()[0];
+    let trace = generate(spec, instructions);
+    let records = trace.len() as u64;
+    let mut predictors = Vec::with_capacity(THROUGHPUT_PREDICTORS.len());
+    for name in THROUGHPUT_PREDICTORS {
+        let reg = lookup(name).expect("throughput predictors are registered");
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            // A fresh cold predictor per rep: the CBP protocol, and the
+            // same cost a grid cell pays.
+            let mut p = reg.make();
+            let ((), seconds) = timed(|| {
+                let _ = simulate(p.as_mut(), &trace);
+            });
+            best = best.min(seconds);
+        }
+        predictors.push(PredictorThroughput {
+            name: name.to_owned(),
+            family: reg.family.to_string(),
+            records,
+            seconds: best,
+            records_per_sec: if best > 0.0 {
+                records as f64 / best
+            } else {
+                0.0
+            },
+            baseline_records_per_sec: baseline
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, rate)| rate),
+        });
+    }
+
+    // Grid leg: the 12×8 paper-report grid, per-cell vs fused columns,
+    // best of two passes each (both strategies are deterministic, so
+    // repeats only smooth scheduling noise).
+    let grid_predictors = paper_report_predictors();
+    let benchmarks = paper_suite();
+    let jobs = Engine::new().jobs();
+    let run_grid_leg = |strategy: GridStrategy| {
+        let mut best: Option<(bp_sim::GridResult, f64)> = None;
+        for _ in 0..2 {
+            let (grid, seconds) = timed(|| {
+                Engine::with_jobs(jobs).with_strategy(strategy).run_grid(
+                    &grid_predictors,
+                    &benchmarks,
+                    grid_instructions,
+                )
+            });
+            if best.as_ref().is_none_or(|(_, s)| seconds < *s) {
+                best = Some((grid, seconds));
+            }
+        }
+        best.expect("at least one grid pass")
+    };
+    let (per_cell_grid, per_cell_seconds) = run_grid_leg(GridStrategy::PerCell);
+    let (fused_grid, fused_seconds) = run_grid_leg(GridStrategy::FusedColumns);
+    let fused_matches_per_cell = per_cell_grid == fused_grid;
+    assert!(
+        fused_matches_per_cell,
+        "fused grid diverged from the per-cell grid"
+    );
+
+    SimBenchReport {
+        instructions,
+        benchmark: spec.name.clone(),
+        predictors,
+        grid: GridLeg {
+            predictors: grid_predictors.len(),
+            benchmarks: benchmarks.len(),
+            instructions: grid_instructions,
+            jobs,
+            per_cell_seconds,
+            fused_seconds,
+            fused_matches_per_cell,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips_through_the_json() {
+        let report = run_sim_bench_tiny();
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"sim\""));
+        assert!(json.contains("\"fused_matches_per_cell\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let parsed = parse_predictor_throughputs(&json);
+        assert_eq!(parsed.len(), THROUGHPUT_PREDICTORS.len());
+        for ((name, rate), p) in parsed.iter().zip(&report.predictors) {
+            assert_eq!(name, &p.name);
+            assert!(*rate > 0.0);
+        }
+
+        // A second run against the first as baseline embeds speedups.
+        let rerun = run_sim_bench(5_000, 3_000, &parsed);
+        let flagship = rerun.throughput("tage-sc-l").expect("measured");
+        assert!(flagship.baseline_records_per_sec.is_some());
+        assert!(flagship.speedup().is_some());
+        assert!(rerun.to_json().contains("\"speedup\""));
+    }
+
+    fn run_sim_bench_tiny() -> SimBenchReport {
+        run_sim_bench(5_000, 3_000, &[])
+    }
+
+    #[test]
+    fn field_scanners_handle_edges() {
+        assert_eq!(
+            field_str("x \"name\": \"abc\",", "\"name\": \""),
+            Some("abc")
+        );
+        assert_eq!(field_str("no name here", "\"name\": \""), None);
+        assert_eq!(
+            field_f64("\"records_per_sec\": 123.5, ...", "\"records_per_sec\": "),
+            Some(123.5)
+        );
+        assert_eq!(
+            field_f64("\"records_per_sec\": 99}", "\"records_per_sec\": "),
+            Some(99.0)
+        );
+        assert_eq!(field_f64("nope", "\"records_per_sec\": "), None);
+        assert!(parse_predictor_throughputs("{}").is_empty());
+    }
+}

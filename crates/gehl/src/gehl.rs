@@ -157,6 +157,11 @@ pub struct Gehl {
     config: GehlConfig,
     tables: Vec<SignedCounterTable>,
     folds: Vec<Option<usize>>,
+    /// Per-table `history_length(i)` hoisted out of the per-branch
+    /// index loops: the geometric series involves a `powf`, and the
+    /// original code recomputed it per table per prediction *and* per
+    /// update — the single hottest constant on the GEHL profile.
+    hist_lens: Vec<u64>,
     history: HistoryState,
     local_history: Option<LocalHistoryTable>,
     local_tables: Vec<SignedCounterTable>,
@@ -178,9 +183,11 @@ impl Gehl {
         let capacity = (config.max_history + 1).next_power_of_two().max(2048);
         let mut history = HistoryState::new(capacity, config.path_bits);
         let mut folds = Vec::with_capacity(config.num_tables);
+        let mut hist_lens = Vec::with_capacity(config.num_tables);
         for i in 0..config.num_tables {
             let hlen = config.history_length(i);
             folds.push((hlen > 0).then(|| history.add_fold(hlen, config.log_entries)));
+            hist_lens.push(hlen as u64);
         }
         let entries = 1usize << config.log_entries;
         Gehl {
@@ -188,6 +195,7 @@ impl Gehl {
                 .map(|_| SignedCounterTable::new(entries, config.counter_bits))
                 .collect(),
             folds,
+            hist_lens,
             history,
             local_history: config
                 .local
@@ -220,7 +228,7 @@ impl Gehl {
     fn table_index(&self, i: usize, pc: u64, imli_count: u32) -> u64 {
         let mut v = pc_bits(pc) ^ ((i as u64) << 59);
         if let Some(fold) = self.folds[i] {
-            let hlen = self.config.history_length(i) as u64;
+            let hlen = self.hist_lens[i];
             v ^= u64::from(self.history.fold(fold)) ^ (hlen << 13);
             v ^= self.history.path() & 0x3F;
         }

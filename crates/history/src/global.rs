@@ -106,16 +106,41 @@ impl GlobalHistory {
     /// Packs the `n` most recent outcomes into the low bits of a `u64`
     /// (bit 0 = most recent). `n` must be at most 64.
     ///
+    /// Word-based: the window is gathered from at most two backing
+    /// words and bit-reversed into place, instead of `n` per-bit
+    /// `bit()` probes — this runs once per prediction in every
+    /// neural-summation host (GEHL, the perceptron, the TAGE
+    /// statistical corrector path).
+    ///
     /// # Panics
     ///
     /// Panics if `n > 64`.
+    #[inline]
     pub fn low_bits(&self, n: usize) -> u64 {
         assert!(n <= 64, "low_bits supports at most 64 bits, got {n}");
-        let mut v = 0u64;
-        for i in (0..n).rev() {
-            v = (v << 1) | u64::from(self.bit(i));
+        // Bits older than the first push read as not-taken.
+        let avail = self.head.min(n as u64) as u32;
+        if avail == 0 {
+            return 0;
         }
-        v
+        // Gather `raw`, the window [head - avail, head) packed oldest
+        // in bit 0. The capacity is a power of two and a multiple of
+        // 64, so circular wrap always lands on a word boundary and a
+        // <= 64-bit window spans at most two words.
+        let start = (self.head - u64::from(avail)) & self.mask;
+        let word = (start / 64) as usize;
+        let off = (start % 64) as u32;
+        let mut raw = self.words[word] >> off;
+        if off != 0 {
+            raw |= self.words[(word + 1) % self.words.len()] << (64 - off);
+        }
+        if avail < 64 {
+            raw &= (1u64 << avail) - 1;
+        }
+        // Newest-in-bit-0 means reversing the window: pad the missing
+        // old bits as zeros at the top, reverse, and keep `n` bits.
+        let padded = raw << (n as u32 - avail);
+        padded.reverse_bits() >> (64 - n as u32)
     }
 
     /// Takes a checkpoint: the current speculative head pointer.
@@ -183,6 +208,35 @@ mod tests {
         h.push(true); // age 0
         assert_eq!(h.low_bits(3), 0b101);
         assert_eq!(h.low_bits(0), 0);
+    }
+
+    #[test]
+    fn low_bits_matches_per_bit_reference() {
+        // The word-gather fast path must agree with the per-bit
+        // definition for every capacity/fill/width combination,
+        // including pre-history zeros, wrapped buffers, and unaligned
+        // window starts.
+        for capacity in [64usize, 128, 1024] {
+            let mut h = GlobalHistory::new(capacity);
+            let mut x = 0x1234_5678_9ABC_DEFFu64;
+            for push in 0..(2 * capacity + 7) {
+                for n in [0usize, 1, 3, 31, 32, 33, 63, 64] {
+                    let mut naive = 0u64;
+                    for i in (0..n).rev() {
+                        naive = (naive << 1) | u64::from(h.bit(i));
+                    }
+                    assert_eq!(
+                        h.low_bits(n),
+                        naive,
+                        "capacity {capacity}, {push} pushes, n {n}"
+                    );
+                }
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.push(x & 1 == 1);
+            }
+        }
     }
 
     #[test]

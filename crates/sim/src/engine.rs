@@ -15,18 +15,57 @@
 //! length: the whole grid needs `jobs × one-phase buffers`, never
 //! `jobs × whole traces`.
 //!
+//! When several predictors sweep the same benchmarks, regenerating the
+//! stream once **per cell** decodes every benchmark `predictors` times.
+//! The engine therefore also has a *fused column* mode
+//! ([`GridStrategy`]): one work unit per benchmark, generating the
+//! stream once and broadcasting every record to all predictors
+//! ([`simulate_stream_multi`]), with bit-identical results.
+//!
 //! Results are written back by cell index, so the returned grid is in
 //! deterministic (predictor-major) order regardless of worker count or
 //! scheduling: `run_grid` with 1 job and with N jobs return identical
 //! [`GridResult`]s.
 
 use crate::registry::PredictorSpec;
-use crate::run::{simulate_stream, SimResult};
+use crate::run::{simulate_stream, simulate_stream_multi, SimResult};
 use crate::suite::SuiteResult;
+use bp_components::ConditionalPredictor;
 use bp_workloads::BenchmarkSpec;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// How [`Engine::run_grid`] schedules the (predictor × benchmark) grid.
+///
+/// Both strategies produce **bit-identical** [`GridResult`]s — every
+/// cell still runs one fresh cold predictor over the full benchmark
+/// stream (the CBP protocol). They differ only in how often each
+/// benchmark stream is generated/decoded:
+///
+/// * [`PerCell`](GridStrategy::PerCell) — one work unit per cell; each
+///   cell regenerates its benchmark stream. Maximum parallelism
+///   (`predictors × benchmarks` units), maximum redundant decode work
+///   (each benchmark is generated once *per predictor*).
+/// * [`FusedColumns`](GridStrategy::FusedColumns) — one work unit per
+///   *benchmark column*; the column generates its stream **once** and
+///   broadcasts every record to all predictors via
+///   [`simulate_stream_multi`]. `N`× less generation/decode work, but
+///   only `benchmarks` parallel units.
+/// * [`Auto`](GridStrategy::Auto) (default) — fuse columns when the
+///   shape profits: at least two predictors share each decode and there
+///   are enough columns to keep every worker busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridStrategy {
+    /// Pick per shape: fused when `predictors >= 2` and the column
+    /// count keeps all workers busy, per-cell otherwise.
+    #[default]
+    Auto,
+    /// Always schedule individual cells (the pre-fusion behaviour).
+    PerCell,
+    /// Always schedule benchmark columns with one shared decode.
+    FusedColumns,
+}
 
 /// Progress report delivered after each completed grid cell.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +87,7 @@ pub struct CellUpdate<'a> {
 #[derive(Debug, Clone)]
 pub struct Engine {
     jobs: usize,
+    strategy: GridStrategy,
 }
 
 impl Default for Engine {
@@ -61,18 +101,45 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             jobs: std::thread::available_parallelism().map_or(4, NonZeroUsize::get),
+            strategy: GridStrategy::default(),
         }
     }
 
     /// An engine with exactly `jobs` workers (`jobs == 1` runs on the
     /// calling thread; 0 is clamped to 1).
     pub fn with_jobs(jobs: usize) -> Self {
-        Engine { jobs: jobs.max(1) }
+        Engine {
+            jobs: jobs.max(1),
+            strategy: GridStrategy::default(),
+        }
+    }
+
+    /// Sets the grid scheduling strategy (default:
+    /// [`GridStrategy::Auto`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: GridStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The configured scheduling strategy.
+    pub fn strategy(&self) -> GridStrategy {
+        self.strategy
+    }
+
+    /// Whether this grid shape runs fused under the configured
+    /// strategy.
+    fn fuse_columns(&self, predictors: usize, benchmarks: usize) -> bool {
+        match self.strategy {
+            GridStrategy::PerCell => false,
+            GridStrategy::FusedColumns => true,
+            GridStrategy::Auto => auto_fuses(predictors, benchmarks, self.jobs),
+        }
     }
 
     /// Runs the full (predictor × benchmark) grid at `instructions`
@@ -97,6 +164,9 @@ impl Engine {
         instructions: u64,
         progress: &(dyn Fn(CellUpdate<'_>) + Sync),
     ) -> GridResult {
+        if self.fuse_columns(predictors.len(), benchmarks.len()) {
+            return self.run_grid_fused(predictors, benchmarks, instructions, progress);
+        }
         let total = predictors.len() * benchmarks.len();
         let timed = run_indexed(
             self.jobs,
@@ -123,6 +193,154 @@ impl Engine {
             cell_seconds,
         }
     }
+
+    /// The fused column path: one work unit per benchmark, each unit
+    /// generating its stream once and driving all predictors over it
+    /// via [`simulate_stream_multi`]. Cells (and progress callbacks,
+    /// one per cell as in the per-cell path) come back in the same
+    /// deterministic predictor-major order; the column's wall time is
+    /// apportioned evenly across its cells, so `cell_seconds` keeps the
+    /// same shape and totals as a per-cell run would report for the
+    /// shared work.
+    fn run_grid_fused(
+        &self,
+        predictors: &[PredictorSpec],
+        benchmarks: &[BenchmarkSpec],
+        instructions: u64,
+        progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+    ) -> GridResult {
+        let columns = run_columns(
+            self.jobs,
+            benchmarks.len(),
+            predictors.len(),
+            |b| {
+                let bench = &benchmarks[b];
+                let mut column: Vec<Box<dyn ConditionalPredictor + Send>> =
+                    predictors.iter().map(PredictorSpec::make).collect();
+                let results = simulate_stream_multi(&mut column, bench.stream(instructions));
+                let labels = predictors
+                    .iter()
+                    .zip(&results)
+                    .map(|(spec, result)| CellLabel {
+                        predictor: spec.name,
+                        benchmark: &bench.name,
+                        mpki: result.mpki(),
+                    })
+                    .collect();
+                (results, labels)
+            },
+            progress,
+        );
+        let (cells, cell_seconds) = transpose_columns(columns, predictors.len(), benchmarks.len());
+        GridResult {
+            predictors: predictors.iter().map(|s| s.name.to_owned()).collect(),
+            benchmarks: benchmarks.iter().map(|b| b.name.clone()).collect(),
+            cells,
+            cell_seconds,
+        }
+    }
+}
+
+/// The [`GridStrategy::Auto`] fusion predicate, shared by the engine
+/// and the attributed report path so the two can never drift: fusing
+/// trades parallel grain (cells → columns) for an N-fold cut in stream
+/// generation, profitable whenever at least two predictors share each
+/// decode and the columns alone can keep every worker busy.
+pub(crate) fn auto_fuses(predictors: usize, benchmarks: usize, jobs: usize) -> bool {
+    predictors >= 2 && benchmarks >= jobs.max(1)
+}
+
+/// Runs `total_columns` benchmark-column work units across `jobs`
+/// workers with the same dynamic self-scheduling as [`run_indexed`],
+/// returning `(column results, column wall seconds)` in column-index
+/// order. The column closure returns `cells_per_column` results plus
+/// one display label per result; progress fires once per *cell* (not
+/// per column), with the same monotonic `completed` counter the
+/// per-cell scheduler maintains. Shared by the plain fused grid and the
+/// fused attributed report path.
+pub(crate) fn run_columns<'a, T, F>(
+    jobs: usize,
+    total_columns: usize,
+    cells_per_column: usize,
+    column: F,
+    progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+) -> Vec<(Vec<T>, f64)>
+where
+    T: Send,
+    F: Fn(usize) -> (Vec<T>, Vec<CellLabel<'a>>) + Sync,
+{
+    let total_cells = total_columns * cells_per_column;
+    let next = AtomicUsize::new(0);
+    type Collected<T> = (Vec<(usize, Vec<T>, f64)>, usize);
+    // Collected columns plus the monotonic completed-cell counter
+    // behind the progress callbacks, under one lock.
+    let collected: Mutex<Collected<T>> = Mutex::new((Vec::with_capacity(total_columns), 0));
+    let worker = || loop {
+        let b = next.fetch_add(1, Ordering::Relaxed);
+        if b >= total_columns {
+            break;
+        }
+        let started = std::time::Instant::now();
+        let (results, labels) = column(b);
+        let seconds = started.elapsed().as_secs_f64();
+        debug_assert_eq!(results.len(), cells_per_column);
+        let mut guard = collected.lock().expect("results lock");
+        let (columns, completed) = &mut *guard;
+        for label in labels {
+            *completed += 1;
+            progress(CellUpdate {
+                predictor: label.predictor,
+                benchmark: label.benchmark,
+                mpki: label.mpki,
+                completed: *completed,
+                total: total_cells,
+            });
+        }
+        columns.push((b, results, seconds));
+    };
+    if jobs <= 1 || total_columns <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(total_columns) {
+                scope.spawn(worker);
+            }
+        });
+    }
+    let (mut columns, completed) = collected.into_inner().expect("results lock");
+    debug_assert_eq!(completed, total_cells);
+    columns.sort_unstable_by_key(|(b, _, _)| *b);
+    columns
+        .into_iter()
+        .map(|(_, results, seconds)| (results, seconds))
+        .collect()
+}
+
+/// Transposes benchmark-major column results into the predictor-major
+/// cell order grids use, apportioning each column's wall time evenly
+/// across its cells.
+pub(crate) fn transpose_columns<T>(
+    columns: Vec<(Vec<T>, f64)>,
+    n_pred: usize,
+    n_bench: usize,
+) -> (Vec<T>, Vec<f64>) {
+    let total_cells = n_pred * n_bench;
+    let mut cells: Vec<Option<T>> = (0..total_cells).map(|_| None).collect();
+    let mut cell_seconds = vec![0.0; total_cells];
+    for (b, (results, seconds)) in columns.into_iter().enumerate() {
+        let per_cell = seconds / n_pred.max(1) as f64;
+        for (p, result) in results.into_iter().enumerate() {
+            cells[p * n_bench + b] = Some(result);
+            cell_seconds[p * n_bench + b] = per_cell;
+        }
+    }
+    (
+        cells
+            .into_iter()
+            .map(|c| c.expect("every grid cell filled"))
+            .collect(),
+        cell_seconds,
+    )
 }
 
 /// What a cell closure reports about the cell it just ran; the
@@ -272,6 +490,24 @@ impl GridResult {
         self.cells[i].records as f64 / seconds
     }
 
+    /// One predictor row's aggregate throughput: the row's total
+    /// records over its total per-cell wall seconds (0.0 when untimed).
+    /// Under the fused strategy the shared column time is apportioned
+    /// evenly, so rows reflect the amortized cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn row_records_per_sec(&self, p: usize) -> f64 {
+        assert!(p < self.predictors.len());
+        let w = self.benchmarks.len();
+        let seconds: f64 = self.cell_seconds[p * w..(p + 1) * w].iter().sum();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.row(p).iter().map(|c| c.records as f64).sum::<f64>() / seconds
+    }
+
     /// Aggregate end-to-end throughput: total records over total
     /// per-cell wall seconds, generation included (CPU-time-ish: cells
     /// overlap across workers, so this is per-worker throughput, not
@@ -403,6 +639,55 @@ mod tests {
         // still compares equal cell-for-cell.
         let rerun = Engine::with_jobs(1).run_grid(&predictors, &benchmarks, 20_000);
         assert_eq!(grid, rerun);
+    }
+
+    #[test]
+    fn fused_grid_is_bit_identical_to_per_cell_grid() {
+        let predictors: Vec<PredictorSpec> = ["bimodal", "gshare", "tage-gsc"]
+            .iter()
+            .map(|n| lookup(n).expect("registered"))
+            .collect();
+        let benchmarks: Vec<BenchmarkSpec> = cbp4_suite().into_iter().take(3).collect();
+        let per_cell = Engine::with_jobs(1)
+            .with_strategy(GridStrategy::PerCell)
+            .run_grid(&predictors, &benchmarks, 20_000);
+        for jobs in [1, 8] {
+            let fused = Engine::with_jobs(jobs)
+                .with_strategy(GridStrategy::FusedColumns)
+                .run_grid(&predictors, &benchmarks, 20_000);
+            assert_eq!(per_cell, fused, "fused grid diverged at jobs={jobs}");
+            assert_eq!(fused.cell_seconds().len(), fused.cells().len());
+        }
+    }
+
+    #[test]
+    fn fused_grid_fires_progress_once_per_cell() {
+        let (predictors, benchmarks) = small_grid();
+        let fired = AtomicUsize::new(0);
+        let grid = Engine::with_jobs(2)
+            .with_strategy(GridStrategy::FusedColumns)
+            .run_grid_with_progress(&predictors, &benchmarks, 10_000, &|update| {
+                fired.fetch_add(1, Ordering::Relaxed);
+                assert!(update.completed >= 1 && update.completed <= update.total);
+                assert_eq!(update.total, 6);
+            });
+        assert_eq!(fired.load(Ordering::Relaxed), 6);
+        assert_eq!(grid.cells().len(), 6);
+    }
+
+    #[test]
+    fn auto_strategy_fuses_profitable_shapes_only() {
+        let e = Engine::with_jobs(2);
+        assert_eq!(e.strategy(), GridStrategy::Auto);
+        assert!(e.fuse_columns(12, 8), "many predictors, enough columns");
+        assert!(!e.fuse_columns(1, 8), "nothing shares the decode");
+        assert!(
+            !Engine::with_jobs(16).fuse_columns(12, 8),
+            "too few columns"
+        );
+        assert!(Engine::with_jobs(16)
+            .with_strategy(GridStrategy::FusedColumns)
+            .fuse_columns(1, 1));
     }
 
     #[test]

@@ -40,16 +40,16 @@ mod suite;
 mod table;
 
 pub use analysis::{learning_curve, BranchProfile, MispredictionProfile};
-pub use engine::{CellUpdate, Engine, GridResult};
+pub use engine::{CellUpdate, Engine, GridResult, GridStrategy};
 pub use registry::{
-    family_members, lookup, make_predictor, registry, PredictorFactory, PredictorFamily,
-    PredictorSpec,
+    family_members, lookup, make_predictor, paper_report_predictors, registry, PredictorFactory,
+    PredictorFamily, PredictorSpec, PAPER_REPORT_NAMES,
 };
 pub use report::{
-    run_report, simulate_stream_attributed, AttributedRun, AttributionSummary, ComponentTally,
-    PhaseSummary, ReportRow, SuiteReport,
+    run_report, simulate_stream_attributed, simulate_stream_attributed_multi, AttributedRun,
+    AttributionSummary, ComponentTally, PhaseSummary, ReportRow, SuiteReport,
 };
-pub use run::{simulate, simulate_stream, Mpki, SimResult};
+pub use run::{simulate, simulate_stream, simulate_stream_multi, Mpki, SimResult};
 pub use speculative::{speculative_imli_fidelity, SpeculationReport};
 pub use suite::{run_suite, SuiteComparison, SuiteMismatchError, SuiteResult};
 pub use table::TextTable;

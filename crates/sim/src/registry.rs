@@ -207,6 +207,33 @@ pub fn registry() -> Vec<PredictorSpec> {
     ]
 }
 
+/// The default configuration set of `bp report paper` and the
+/// simulator benchmark's grid leg: the Table 1/2 ablation ladders plus
+/// the WH comparison points, in table order.
+pub const PAPER_REPORT_NAMES: [&str; 12] = [
+    "tage-gsc",
+    "tage-gsc+sic",
+    "tage-gsc+imli",
+    "tage-gsc+wh",
+    "tage-sc-l",
+    "tage-sc-l+imli",
+    "gehl",
+    "gehl+imli",
+    "gehl+wh",
+    "ftl",
+    "ftl+imli",
+    "perceptron+imli",
+];
+
+/// The 12 predictor configurations of the paper report
+/// ([`PAPER_REPORT_NAMES`]) as resolved registry specs.
+pub fn paper_report_predictors() -> Vec<PredictorSpec> {
+    PAPER_REPORT_NAMES
+        .iter()
+        .map(|n| lookup(n).expect("paper report predictors are registered"))
+        .collect()
+}
+
 /// Looks a configuration up by registry name.
 ///
 /// ```
@@ -298,6 +325,15 @@ mod tests {
         assert!(family_members(PredictorFamily::Gehl)
             .iter()
             .all(|s| s.name.starts_with("gehl") || s.name.starts_with("ftl")));
+    }
+
+    #[test]
+    fn paper_report_set_resolves_in_table_order() {
+        let specs = paper_report_predictors();
+        assert_eq!(specs.len(), PAPER_REPORT_NAMES.len());
+        for (spec, name) in specs.iter().zip(PAPER_REPORT_NAMES) {
+            assert_eq!(spec.name, name);
+        }
     }
 
     #[test]

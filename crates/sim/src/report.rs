@@ -17,9 +17,11 @@
 //!   ordering): the same inputs produce byte-identical reports, which
 //!   is what makes them diffable artifacts of record.
 
-use crate::engine::{run_indexed, CellLabel, CellUpdate};
+use crate::engine::{
+    auto_fuses, run_columns, run_indexed, transpose_columns, CellLabel, CellUpdate,
+};
 use crate::registry::PredictorSpec;
-use crate::run::{Mpki, SimResult};
+use crate::run::{fill_multi_block, Mpki, SimResult, MULTI_BLOCK_RECORDS};
 use bp_components::{
     ConditionalPredictor, ConfidenceBucket, PredictionAttribution, PredictorStats, StorageItem,
 };
@@ -219,6 +221,89 @@ where
     }
 }
 
+/// Per-predictor accumulation state of one fused attributed pass.
+#[derive(Default)]
+struct MultiAccum {
+    stats: PredictorStats,
+    warmup: PhaseSummary,
+    steady: PhaseSummary,
+}
+
+/// [`simulate_stream_attributed`] for *several* predictors over **one**
+/// pass of the stream — the attributed twin of
+/// [`crate::simulate_stream_multi`], and the core of the fused report
+/// path.
+///
+/// The stream is pulled once in blocks; each predictor consumes the
+/// whole block before the next (cache-friendly, exactly like the plain
+/// fused path). The warmup boundary is applied per record from the
+/// running instruction total, which is a pure function of the record
+/// sequence — so every predictor sees the identical warmup/steady
+/// split, and every returned [`AttributedRun`] is bit-identical to a
+/// solo [`simulate_stream_attributed`] over an equal stream.
+pub fn simulate_stream_attributed_multi<S>(
+    predictors: &mut [Box<dyn ConditionalPredictor + Send>],
+    mut stream: S,
+    warmup_instructions: u64,
+) -> Vec<AttributedRun>
+where
+    S: BranchStream,
+{
+    let benchmark = stream.name().to_owned();
+    let mut accums: Vec<MultiAccum> = predictors.iter().map(|_| MultiAccum::default()).collect();
+    let mut instructions = 0u64;
+    let mut records = 0u64;
+    let mut block = Vec::with_capacity(MULTI_BLOCK_RECORDS);
+    loop {
+        let block_start = instructions;
+        fill_multi_block(&mut stream, &mut block, &mut instructions, &mut records);
+        if block.is_empty() {
+            break;
+        }
+        for (predictor, accum) in predictors.iter_mut().zip(accums.iter_mut()) {
+            let mut running = block_start;
+            for record in &block {
+                running += record.instructions();
+                let phase = if running <= warmup_instructions {
+                    &mut accum.warmup
+                } else {
+                    &mut accum.steady
+                };
+                phase.instructions += record.instructions();
+                if record.is_conditional() {
+                    let (pred, attribution) = predictor.predict_attributed(record.pc);
+                    let correct = pred == record.taken;
+                    accum.stats.record(correct);
+                    phase.stats.record(correct);
+                    phase.attribution.record(&attribution, pred, record.taken);
+                    predictor.update(record);
+                } else {
+                    predictor.notify_nonconditional(record);
+                }
+            }
+        }
+        if block.len() < MULTI_BLOCK_RECORDS {
+            break;
+        }
+    }
+    predictors
+        .iter()
+        .zip(accums)
+        .map(|(predictor, accum)| AttributedRun {
+            result: SimResult {
+                benchmark: benchmark.clone(),
+                predictor: predictor.name().to_owned(),
+                instructions,
+                records,
+                stats: accum.stats,
+            },
+            warmup_instructions,
+            warmup: accum.warmup,
+            steady: accum.steady,
+        })
+        .collect()
+}
+
 /// One predictor row of a [`SuiteReport`]: suite-wide MPKI, exact
 /// storage itemization, and aggregated attribution phases.
 #[derive(Debug, Clone, PartialEq)]
@@ -266,7 +351,7 @@ impl ReportRow {
 
 /// A complete paper-style report over one suite: every predictor's
 /// MPKI, storage budget, and component attribution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SuiteReport {
     /// Suite label (`"paper"`, `"cbp4"`, `"cbp3"`).
     pub suite: String,
@@ -278,6 +363,28 @@ pub struct SuiteReport {
     pub benchmarks: Vec<String>,
     /// Predictor rows, in input order.
     pub rows: Vec<ReportRow>,
+    /// Dynamic branch records of each grid cell, row-major
+    /// (`cell_records[p * benchmarks.len() + b]`). Deterministic.
+    pub cell_records: Vec<u64>,
+    /// Wall seconds spent on each cell, row-major like `cell_records`
+    /// (under the fused path: the column's wall time apportioned
+    /// evenly). Throughput telemetry only — never serialized into the
+    /// deterministic report documents, and excluded from equality.
+    pub cell_seconds: Vec<f64>,
+}
+
+/// Equality deliberately ignores `cell_seconds`: the report's content
+/// is deterministic across worker counts, scheduling strategies, and
+/// runs; wall-clock is not. Mirrors [`crate::GridResult`]'s equality.
+impl PartialEq for SuiteReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.suite == other.suite
+            && self.instructions == other.instructions
+            && self.warmup_instructions == other.warmup_instructions
+            && self.benchmarks == other.benchmarks
+            && self.rows == other.rows
+            && self.cell_records == other.cell_records
+    }
 }
 
 /// Runs the full attributed (predictor × benchmark) grid and folds it
@@ -285,6 +392,13 @@ pub struct SuiteReport {
 /// protocol), fanned out over `jobs` workers with the engine's dynamic
 /// scheduler. Deterministic: the report depends only on the inputs,
 /// never on worker count or scheduling.
+///
+/// Scheduling follows the engine's auto heuristic: when at least two
+/// predictors share each benchmark and the columns can keep every
+/// worker busy, whole benchmark columns are fused
+/// ([`simulate_stream_attributed_multi`]) so each stream is generated
+/// once instead of once per predictor; otherwise cells are scheduled
+/// individually. Both paths produce the identical report.
 pub fn run_report(
     suite: &str,
     predictors: &[PredictorSpec],
@@ -295,28 +409,61 @@ pub fn run_report(
     progress: &(dyn Fn(CellUpdate<'_>) + Sync),
 ) -> SuiteReport {
     let total = predictors.len() * benchmarks.len();
-    let timed: Vec<(AttributedRun, f64)> = run_indexed(
-        jobs,
-        total,
-        |idx| {
-            let spec = &predictors[idx / benchmarks.len()];
-            let bench = &benchmarks[idx % benchmarks.len()];
-            let mut predictor = spec.make();
-            let run = simulate_stream_attributed(
-                predictor.as_mut(),
-                bench.stream(instructions),
-                warmup_instructions,
-            );
-            let label = CellLabel {
-                predictor: spec.name,
-                benchmark: &bench.name,
-                mpki: run.result.mpki(),
-            };
-            (run, label)
-        },
-        progress,
-    );
-    let runs: Vec<AttributedRun> = timed.into_iter().map(|(run, _)| run).collect();
+    let fused = auto_fuses(predictors.len(), benchmarks.len(), jobs);
+    let timed: Vec<(AttributedRun, f64)> = if fused {
+        let columns = run_columns(
+            jobs,
+            benchmarks.len(),
+            predictors.len(),
+            |b| {
+                let bench = &benchmarks[b];
+                let mut column: Vec<Box<dyn ConditionalPredictor + Send>> =
+                    predictors.iter().map(PredictorSpec::make).collect();
+                let runs = simulate_stream_attributed_multi(
+                    &mut column,
+                    bench.stream(instructions),
+                    warmup_instructions,
+                );
+                let labels = predictors
+                    .iter()
+                    .zip(&runs)
+                    .map(|(spec, run)| CellLabel {
+                        predictor: spec.name,
+                        benchmark: &bench.name,
+                        mpki: run.result.mpki(),
+                    })
+                    .collect();
+                (runs, labels)
+            },
+            progress,
+        );
+        let (cells, seconds) = transpose_columns(columns, predictors.len(), benchmarks.len());
+        cells.into_iter().zip(seconds).collect()
+    } else {
+        run_indexed(
+            jobs,
+            total,
+            |idx| {
+                let spec = &predictors[idx / benchmarks.len()];
+                let bench = &benchmarks[idx % benchmarks.len()];
+                let mut predictor = spec.make();
+                let run = simulate_stream_attributed(
+                    predictor.as_mut(),
+                    bench.stream(instructions),
+                    warmup_instructions,
+                );
+                let label = CellLabel {
+                    predictor: spec.name,
+                    benchmark: &bench.name,
+                    mpki: run.result.mpki(),
+                };
+                (run, label)
+            },
+            progress,
+        )
+    };
+    let (runs, cell_seconds): (Vec<AttributedRun>, Vec<f64>) = timed.into_iter().unzip();
+    let cell_records: Vec<u64> = runs.iter().map(|r| r.result.records).collect();
 
     let rows = predictors
         .iter()
@@ -352,6 +499,8 @@ pub fn run_report(
         warmup_instructions,
         benchmarks: benchmarks.iter().map(|b| b.name.clone()).collect(),
         rows,
+        cell_records,
+        cell_seconds,
     }
 }
 
@@ -402,6 +551,28 @@ fn attribution_json(summary: &AttributionSummary, indent: &str) -> String {
 }
 
 impl SuiteReport {
+    /// One predictor row's aggregate throughput in records/sec: the
+    /// row's total records over its total per-cell wall seconds (0.0
+    /// when untimed). Telemetry for the CLI's live summary — never part
+    /// of the serialized report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn row_records_per_sec(&self, p: usize) -> f64 {
+        let w = self.benchmarks.len();
+        assert!(p < self.rows.len() && (p + 1) * w <= self.cell_records.len());
+        let seconds: f64 = self.cell_seconds[p * w..(p + 1) * w].iter().sum();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.cell_records[p * w..(p + 1) * w]
+            .iter()
+            .map(|&r| r as f64)
+            .sum::<f64>()
+            / seconds
+    }
+
     /// Renders the report as a deterministic JSON document (stable key
     /// order, fixed float precision, no timestamps).
     pub fn to_json(&self) -> String {
@@ -680,6 +851,42 @@ mod tests {
             assert!(t.saves <= t.correct);
             assert!(t.losses <= t.provided - t.correct);
         }
+    }
+
+    #[test]
+    fn fused_attributed_runs_match_solo_runs_exactly() {
+        let (predictors, benchmarks) = small_inputs();
+        let mut column: Vec<Box<dyn ConditionalPredictor + Send>> =
+            predictors.iter().map(PredictorSpec::make).collect();
+        let fused =
+            simulate_stream_attributed_multi(&mut column, benchmarks[0].stream(30_000), 10_000);
+        assert_eq!(fused.len(), predictors.len());
+        for (spec, run) in predictors.iter().zip(&fused) {
+            let solo = simulate_stream_attributed(
+                spec.make().as_mut(),
+                benchmarks[0].stream(30_000),
+                10_000,
+            );
+            assert_eq!(run, &solo, "{} diverged under fusion", spec.name);
+        }
+    }
+
+    #[test]
+    fn report_throughput_telemetry_is_populated_but_ignored_by_eq() {
+        let (predictors, benchmarks) = small_inputs();
+        let report = run_report("test", &predictors, &benchmarks, 20_000, 5_000, 1, &|_| {});
+        assert_eq!(
+            report.cell_records.len(),
+            predictors.len() * benchmarks.len()
+        );
+        assert_eq!(report.cell_seconds.len(), report.cell_records.len());
+        assert!(report.cell_records.iter().all(|&r| r > 0));
+        for p in 0..report.rows.len() {
+            assert!(report.row_records_per_sec(p) >= 0.0);
+        }
+        let mut other = report.clone();
+        other.cell_seconds.iter_mut().for_each(|s| *s += 1.0);
+        assert_eq!(report, other, "wall time must not affect equality");
     }
 
     #[test]

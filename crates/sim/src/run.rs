@@ -135,6 +135,99 @@ where
     }
 }
 
+/// Records per fused block: large enough to amortize the per-block
+/// predictor sweep, small enough (≈ 96 KiB of records) that the block
+/// plus one predictor's tables stay cache-resident.
+pub(crate) const MULTI_BLOCK_RECORDS: usize = 4096;
+
+/// Refills `block` (cleared first) with up to [`MULTI_BLOCK_RECORDS`]
+/// records from `stream`, accumulating the running instruction/record
+/// totals. Shared by both fused sweeps (plain and attributed) so the
+/// block protocol — fill size, counting, and the
+/// empty/short-block termination the callers key off — cannot drift
+/// between them.
+pub(crate) fn fill_multi_block<S: BranchStream>(
+    stream: &mut S,
+    block: &mut Vec<bp_trace::BranchRecord>,
+    instructions: &mut u64,
+    records: &mut u64,
+) {
+    block.clear();
+    while block.len() < MULTI_BLOCK_RECORDS {
+        match stream.next_record() {
+            Some(record) => {
+                *instructions += record.instructions();
+                *records += 1;
+                block.push(record);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Simulates *several* predictors over **one** pass of a
+/// [`BranchStream`] with the CBP protocol — the shared-decode core of
+/// the engine's fused column mode.
+///
+/// The stream is pulled once, in blocks of 4096 records
+/// (`MULTI_BLOCK_RECORDS`); each predictor consumes the whole block before the
+/// next predictor starts. Per-record broadcast (predictor-inner loop)
+/// would touch every predictor's tables on every record and thrash the
+/// cache; the blocked sweep keeps one predictor's working set hot for
+/// thousands of records while still generating/decoding the stream
+/// exactly once instead of `N` times.
+///
+/// Because the predictors are independent state machines driven with
+/// the identical record sequence, the returned results are
+/// **bit-identical** to running [`simulate_stream`] once per predictor
+/// over equal streams.
+///
+/// Returns one [`SimResult`] per predictor, in input order.
+pub fn simulate_stream_multi<S>(
+    predictors: &mut [Box<dyn ConditionalPredictor + Send>],
+    mut stream: S,
+) -> Vec<SimResult>
+where
+    S: BranchStream,
+{
+    let benchmark = stream.name().to_owned();
+    let mut stats = vec![PredictorStats::default(); predictors.len()];
+    let mut instructions = 0u64;
+    let mut records = 0u64;
+    let mut block = Vec::with_capacity(MULTI_BLOCK_RECORDS);
+    loop {
+        fill_multi_block(&mut stream, &mut block, &mut instructions, &mut records);
+        if block.is_empty() {
+            break;
+        }
+        for (predictor, stats) in predictors.iter_mut().zip(stats.iter_mut()) {
+            for record in &block {
+                if record.is_conditional() {
+                    let pred = predictor.predict(record.pc);
+                    stats.record(pred == record.taken);
+                    predictor.update(record);
+                } else {
+                    predictor.notify_nonconditional(record);
+                }
+            }
+        }
+        if block.len() < MULTI_BLOCK_RECORDS {
+            break;
+        }
+    }
+    predictors
+        .iter()
+        .zip(stats)
+        .map(|(predictor, stats)| SimResult {
+            benchmark: benchmark.clone(),
+            predictor: predictor.name().to_owned(),
+            instructions,
+            records,
+            stats,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +294,38 @@ mod tests {
         let materialized = simulate(&mut Bimodal::new(64), &trace);
         let streamed = simulate_stream(&mut Bimodal::new(64), trace.stream());
         assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn multi_stream_matches_individual_runs_exactly() {
+        let mut t = biased_trace(400, true);
+        for i in 0..200u64 {
+            t.push(BranchRecord::conditional(0x90, 0x40, i % 3 == 0));
+            if i % 5 == 0 {
+                t.push(BranchRecord::call(0x100, 0x1000));
+            }
+        }
+        let mut predictors: Vec<Box<dyn ConditionalPredictor + Send>> = vec![
+            Box::new(AlwaysTaken),
+            Box::new(Bimodal::new(64)),
+            Box::new(Bimodal::new(1024)),
+        ];
+        let fused = simulate_stream_multi(&mut predictors, t.stream());
+        assert_eq!(fused.len(), 3);
+        let solo = [
+            simulate(&mut AlwaysTaken, &t),
+            simulate(&mut Bimodal::new(64), &t),
+            simulate(&mut Bimodal::new(1024), &t),
+        ];
+        for (f, s) in fused.iter().zip(solo.iter()) {
+            assert_eq!(f, s, "fused cell must equal the per-predictor run");
+        }
+    }
+
+    #[test]
+    fn multi_stream_with_no_predictors_is_empty() {
+        let t = biased_trace(10, true);
+        let mut none: Vec<Box<dyn ConditionalPredictor + Send>> = Vec::new();
+        assert!(simulate_stream_multi(&mut none, t.stream()).is_empty());
     }
 }

@@ -46,6 +46,15 @@ impl Default for TageConfig {
     }
 }
 
+/// Compile-time bound on the number of tagged tables.
+///
+/// [`TageLookup`] carries per-table indices and tags in fixed-capacity
+/// inline arrays sized by this constant, so the per-branch lookup is a
+/// plain `Copy` value — no heap allocation anywhere on the
+/// predict/update path. 16 comfortably covers every published TAGE
+/// geometry (the paper's is 12 tables; CBP winners use 12-15).
+pub const MAX_TAGE_TABLES: usize = 16;
+
 impl TageConfig {
     /// Number of tagged tables.
     pub fn num_tables(&self) -> usize {
@@ -73,6 +82,14 @@ impl TageConfig {
     pub fn validate(&self) {
         assert!(!self.tag_bits.is_empty(), "at least one tagged table");
         assert!(
+            self.tag_bits.len() <= MAX_TAGE_TABLES,
+            "at most {MAX_TAGE_TABLES} tagged tables"
+        );
+        assert!(
+            (2..=24).contains(&self.tagged_log_entries),
+            "tagged_log_entries must be in 2..=24"
+        );
+        assert!(
             self.min_history >= 1 && self.max_history > self.min_history,
             "history bounds must be increasing"
         );
@@ -95,12 +112,17 @@ struct TaggedEntry {
 }
 
 /// The result of a TAGE lookup, cached between `predict` and `update`.
-#[derive(Debug, Clone)]
+///
+/// A plain `Copy` value: the per-table indices and tags live in
+/// fixed-capacity inline arrays (bounded by [`MAX_TAGE_TABLES`]), so
+/// taking, caching, and returning a lookup never touches the heap —
+/// this runs once per conditional branch.
+#[derive(Debug, Clone, Copy)]
 pub struct TageLookup {
-    /// Per-table computed indices.
-    indices: Vec<usize>,
-    /// Per-table computed tags.
-    tags: Vec<u16>,
+    /// Per-table computed indices (first `num_tables` slots are live).
+    indices: [u32; MAX_TAGE_TABLES],
+    /// Per-table computed tags (first `num_tables` slots are live).
+    tags: [u16; MAX_TAGE_TABLES],
     /// The matching table providing the prediction (`None` = bimodal).
     provider: Option<usize>,
     /// The alternate provider (next longest match; `None` = bimodal).
@@ -187,15 +209,41 @@ impl TageLookup {
 pub struct Tage {
     config: TageConfig,
     base: BimodalTable,
-    tables: Vec<Vec<TaggedEntry>>,
+    /// All tagged tables in one contiguous row-major allocation:
+    /// table `i`, entry `j` lives at `(i << tagged_log_entries) | j`.
+    /// One allocation instead of `N` keeps bank probes on the same
+    /// cache-friendly backing and removes a pointer chase per probe.
+    tables: Vec<TaggedEntry>,
     history: HistoryState,
     index_folds: Vec<usize>,
     tag_folds: Vec<(usize, usize)>,
+    // Per-table constants hoisted out of the per-branch loops (the
+    // geometric history_length() involves a powf; computing it per
+    // branch per table dominated the original lookup profile).
+    /// `log2(entries) - (i % log2(entries))`: the PC-fold shift.
+    pc_shifts: [u32; MAX_TAGE_TABLES],
+    /// Path-history mask for `min(history_length(i), path_bits)` bits.
+    path_masks: [u64; MAX_TAGE_TABLES],
+    /// `(1 << tag_bits[i]) - 1`.
+    tag_masks: [u16; MAX_TAGE_TABLES],
     use_alt_on_na: SaturatingCounter,
     tick: u64,
     reset_msb: bool,
     alloc_seed: u64,
     lookup: Option<TageLookup>,
+}
+
+/// The low `bits` bits set, saturating at the full word — the guard for
+/// path-history masks, where a legal 64-bit configuration would
+/// otherwise hit `1u64 << 64` (shift overflow; the same bug class as
+/// `FoldedHistory::set_value`'s 32-bit escape hatch).
+#[inline]
+fn low_mask(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
 }
 
 impl Tage {
@@ -210,11 +258,18 @@ impl Tage {
         let mut history = HistoryState::new(capacity, config.path_bits);
         let mut index_folds = Vec::new();
         let mut tag_folds = Vec::new();
+        let mut pc_shifts = [0u32; MAX_TAGE_TABLES];
+        let mut path_masks = [0u64; MAX_TAGE_TABLES];
+        let mut tag_masks = [0u16; MAX_TAGE_TABLES];
+        let log = config.tagged_log_entries;
         for i in 0..config.num_tables() {
             let hlen = config.history_length(i);
-            index_folds.push(history.add_fold(hlen, config.tagged_log_entries));
+            index_folds.push(history.add_fold(hlen, log));
             let tw = config.tag_bits[i];
             tag_folds.push((history.add_fold(hlen, tw), history.add_fold(hlen, tw - 1)));
+            pc_shifts[i] = (log - (i % log)) as u32;
+            path_masks[i] = low_mask(hlen.min(config.path_bits));
+            tag_masks[i] = low_mask(tw) as u16;
         }
         let entry = TaggedEntry {
             ctr: SaturatingCounter::new(config.counter_bits),
@@ -223,10 +278,13 @@ impl Tage {
         };
         Tage {
             base: BimodalTable::new(1 << config.base_log_entries),
-            tables: vec![vec![entry; 1 << config.tagged_log_entries]; config.num_tables()],
+            tables: vec![entry; config.num_tables() << log],
             history,
             index_folds,
             tag_folds,
+            pc_shifts,
+            path_masks,
+            tag_masks,
             use_alt_on_na: SaturatingCounter::new(4),
             tick: 0,
             reset_msb: true,
@@ -247,42 +305,55 @@ impl Tage {
         &self.history
     }
 
+    /// The entry of tagged table `table` at `index` in the flattened
+    /// row-major backing.
     #[inline]
-    fn table_index(&self, pc: u64, i: usize) -> usize {
-        let log = self.config.tagged_log_entries;
-        let hlen = self.config.history_length(i);
-        let path = self.history.path() & ((1 << hlen.min(self.config.path_bits)) - 1);
-        let v = pc_bits(pc)
-            ^ (pc_bits(pc) >> (log as u64 - (i as u64 % log as u64)))
-            ^ u64::from(self.history.fold(self.index_folds[i]))
-            ^ fold_u64(path.max(1), log.min(16));
-        (v & ((1 << log) - 1)) as usize
+    fn entry(&self, table: usize, index: u32) -> &TaggedEntry {
+        &self.tables[(table << self.config.tagged_log_entries) | index as usize]
     }
 
     #[inline]
-    fn table_tag(&self, pc: u64, i: usize) -> u16 {
-        let tw = self.config.tag_bits[i];
+    fn entry_mut(&mut self, table: usize, index: u32) -> &mut TaggedEntry {
+        &mut self.tables[(table << self.config.tagged_log_entries) | index as usize]
+    }
+
+    /// `pcb`/`path` are `pc_bits(pc)` and the packed path history,
+    /// hoisted out of the per-table loop by the caller.
+    #[inline]
+    fn table_index(&self, pcb: u64, path: u64, i: usize) -> u32 {
+        let log = self.config.tagged_log_entries;
+        let masked_path = path & self.path_masks[i];
+        let v = pcb
+            ^ (pcb >> self.pc_shifts[i])
+            ^ u64::from(self.history.fold(self.index_folds[i]))
+            ^ fold_u64(masked_path.max(1), log.min(16));
+        (v & low_mask(log)) as u32
+    }
+
+    #[inline]
+    fn table_tag(&self, pcb: u64, i: usize) -> u16 {
         let (f1, f2) = self.tag_folds[i];
-        let v = pc_bits(pc)
-            ^ u64::from(self.history.fold(f1))
-            ^ (u64::from(self.history.fold(f2)) << 1);
-        (v & ((1 << tw) - 1)) as u16
+        let v = pcb ^ u64::from(self.history.fold(f1)) ^ (u64::from(self.history.fold(f2)) << 1);
+        (v as u16) & self.tag_masks[i]
     }
 
     /// Performs the TAGE lookup for `pc` and returns the lookup record
     /// (also cached internally for the subsequent [`Tage::update`]).
+    /// Allocation-free: the lookup is a `Copy` value.
     pub fn lookup(&mut self, pc: u64) -> TageLookup {
         let n = self.config.num_tables();
-        let mut indices = Vec::with_capacity(n);
-        let mut tags = Vec::with_capacity(n);
+        let pcb = pc_bits(pc);
+        let path = self.history.path();
+        let mut indices = [0u32; MAX_TAGE_TABLES];
+        let mut tags = [0u16; MAX_TAGE_TABLES];
         for i in 0..n {
-            indices.push(self.table_index(pc, i));
-            tags.push(self.table_tag(pc, i));
+            indices[i] = self.table_index(pcb, path, i);
+            tags[i] = self.table_tag(pcb, i);
         }
         let mut provider = None;
         let mut alt = None;
         for i in (0..n).rev() {
-            if self.tables[i][indices[i]].tag == tags[i] {
+            if self.entry(i, indices[i]).tag == tags[i] {
                 if provider.is_none() {
                     provider = Some(i);
                 } else {
@@ -292,10 +363,10 @@ impl Tage {
             }
         }
         let base_pred = self.base.predict(pc);
-        let alt_pred = alt.map_or(base_pred, |i| self.tables[i][indices[i]].ctr.is_taken());
+        let alt_pred = alt.map_or(base_pred, |i| self.entry(i, indices[i]).ctr.is_taken());
         let (provider_pred, weak_newalloc, low_confidence) = match provider {
             Some(i) => {
-                let e = &self.tables[i][indices[i]];
+                let e = self.entry(i, indices[i]);
                 let weak = e.ctr.confidence() == 0;
                 (e.ctr.is_taken(), weak && e.useful == 0, weak)
             }
@@ -317,7 +388,7 @@ impl Tage {
             weak_newalloc,
             alt_used,
         };
-        self.lookup = Some(lookup.clone());
+        self.lookup = Some(lookup);
         lookup
     }
 
@@ -353,17 +424,18 @@ impl Tage {
             // Pseudo-randomly skip up to 2 candidate tables so that
             // allocations spread across history lengths.
             let skip = (self.next_rand() & 3).min(2) as usize;
+            let counter_bits = self.config.counter_bits;
             let mut allocated = false;
             let mut skipped = 0;
             for i in start..n {
-                let e = &mut self.tables[i][lookup.indices[i]];
+                let e = self.entry_mut(i, lookup.indices[i]);
                 if e.useful == 0 {
                     if skipped < skip {
                         skipped += 1;
                         continue;
                     }
                     e.tag = lookup.tags[i];
-                    e.ctr = SaturatingCounter::new_weak(self.config.counter_bits, taken);
+                    e.ctr = SaturatingCounter::new_weak(counter_bits, taken);
                     allocated = true;
                     break;
                 }
@@ -372,7 +444,7 @@ impl Tage {
                 // All candidates useful: age them so the branch can
                 // allocate next time.
                 for i in start..n {
-                    let e = &mut self.tables[i][lookup.indices[i]];
+                    let e = self.entry_mut(i, lookup.indices[i]);
                     e.useful = e.useful.saturating_sub(1);
                 }
             }
@@ -386,12 +458,12 @@ impl Tage {
             }
 
             // Train the provider.
-            let e = &mut self.tables[p][lookup.indices[p]];
+            let u_max = (1u8 << self.config.useful_bits) - 1;
+            let e = self.entry_mut(p, lookup.indices[p]);
             e.ctr.train(taken);
 
             // Usefulness: provider differed from alt and was right.
             if lookup.provider_pred != lookup.alt_pred {
-                let u_max = (1u8 << self.config.useful_bits) - 1;
                 if lookup.provider_pred == taken {
                     e.useful = (e.useful + 1).min(u_max);
                 } else {
@@ -403,7 +475,7 @@ impl Tage {
             // alternate so it does not decay into uselessness.
             if lookup.weak_newalloc {
                 match lookup.alt {
-                    Some(a) => self.tables[a][lookup.indices[a]].ctr.train(taken),
+                    Some(a) => self.entry_mut(a, lookup.indices[a]).ctr.train(taken),
                     None => self.base.update(pc, taken),
                 }
             }
@@ -421,10 +493,8 @@ impl Tage {
                 !1u8
             };
             self.reset_msb = !self.reset_msb;
-            for table in &mut self.tables {
-                for e in table.iter_mut() {
-                    e.useful &= mask;
-                }
+            for e in self.tables.iter_mut() {
+                e.useful &= mask;
             }
         }
     }
@@ -449,13 +519,14 @@ impl Tage {
     /// register.
     pub fn storage_items(&self) -> Vec<StorageItem> {
         let mut items = vec![StorageItem::new("base", self.base.storage_bits())];
-        for (i, table) in self.tables.iter().enumerate() {
+        let entries = 1u64 << self.config.tagged_log_entries;
+        for i in 0..self.config.num_tables() {
             let per_entry = (self.config.counter_bits
                 + self.config.useful_bits
                 + self.config.tag_bits[i]) as u64;
             items.push(StorageItem::new(
                 format!("tagged[{i}]"),
-                table.len() as u64 * per_entry,
+                entries * per_entry,
             ));
         }
         items.push(StorageItem::new("use-alt-on-na", 4));
@@ -577,6 +648,39 @@ mod tests {
     fn update_requires_lookup() {
         let mut tage = Tage::new(TageConfig::default());
         tage.update(0x40, true);
+    }
+
+    #[test]
+    fn full_width_path_history_is_legal() {
+        // Regression: `table_index` masked the path with
+        // `(1 << hlen.min(path_bits)) - 1`, which is shift overflow
+        // (debug panic) for a legal 64-bit path-history configuration
+        // whenever a table's history length reaches 64 — the same bug
+        // class PR 2 fixed in `FoldedHistory::set_value`.
+        let mut tage = Tage::new(TageConfig {
+            path_bits: 64,
+            ..TageConfig::default()
+        });
+        let acc = run_branch(&mut tage, 0x400, 500, |_| true);
+        assert!(acc > 0.99, "64-bit path config accuracy {acc}");
+    }
+
+    #[test]
+    fn low_mask_saturates_at_word_width() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(16), 0xFFFF);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+        assert_eq!(low_mask(80), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn rejects_too_many_tables() {
+        let _ = Tage::new(TageConfig {
+            tag_bits: vec![8; MAX_TAGE_TABLES + 1],
+            ..TageConfig::default()
+        });
     }
 
     #[test]

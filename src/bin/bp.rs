@@ -27,12 +27,19 @@
 //!                               trace-I/O throughput benchmark (v1 vs v2
 //!                               write/read/simulate); emits
 //!                               BENCH_trace_io.json
+//! bp bench --sim [--quick] [--instr N] [--out FILE] [--baseline FILE]
+//!                               simulator throughput benchmark
+//!                               (predict/update records/sec per
+//!                               predictor family; per-cell vs fused
+//!                               grid wall time); emits BENCH_sim.json
 //! ```
 
+use imli_repro::bench::sim_bench::{parse_predictor_throughputs, run_sim_bench};
 use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
 use imli_repro::sim::{
-    family_members, lookup, make_predictor, registry, run_report, simulate, simulate_stream,
-    Engine, MispredictionProfile, PredictorFamily, PredictorSpec, TextTable,
+    family_members, lookup, make_predictor, paper_report_predictors, registry, run_report,
+    simulate, simulate_stream, Engine, GridStrategy, MispredictionProfile, PredictorFamily,
+    PredictorSpec, TextTable,
 };
 use imli_repro::trace::{read_trace, write_trace, Trace, TraceReader};
 use imli_repro::workloads::{
@@ -47,10 +54,12 @@ fn usage() -> ExitCode {
         "usage:\n  bp list (benchmarks|predictors)\n  bp generate <bench> <instr> <file> [--v1]\n  \
          bp simulate <config> <bench-or-file> [instr]\n  bp profile <config> <bench> [instr] [top]\n  \
          bp compare <bench> [instr]\n  \
-         bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c]\n  \
+         bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c] \
+         [--strategy auto|cell|fused]\n  \
          bp report <suite> [--jobs N] [--instr N] [--warmup N] [--json] [--family F] \
          [--predictors a,b,c] [--out-dir D]\n  \
-         bp bench [--quick] [--instr N] [--out FILE]"
+         bp bench [--quick] [--instr N] [--out FILE]\n  \
+         bp bench --sim [--quick] [--instr N] [--out FILE] [--baseline FILE]"
     );
     ExitCode::FAILURE
 }
@@ -218,12 +227,13 @@ struct SweepFlags {
     predictors: Vec<PredictorSpec>,
     warmup: Option<u64>,
     out_dir: String,
+    strategy: GridStrategy,
 }
 
 /// Parses the shared sweep flags (`--jobs`, `--instr`, `--json`,
 /// `--family`, `--predictors`). `command` names the subcommand for
 /// error messages; `report_flags` additionally enables `--warmup` and
-/// `--out-dir`.
+/// `--out-dir`, while `grid` alone takes `--strategy`.
 fn parse_sweep_flags(
     command: &str,
     flags: &[String],
@@ -238,6 +248,7 @@ fn parse_sweep_flags(
         predictors: initial_predictors,
         warmup: None,
         out_dir: ".".to_owned(),
+        strategy: GridStrategy::Auto,
     };
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -284,6 +295,15 @@ fn parse_sweep_flags(
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--strategy" if !report_flags => {
+                let v = value("strategy name")?;
+                parsed.strategy = match v.to_ascii_lowercase().as_str() {
+                    "auto" => GridStrategy::Auto,
+                    "cell" | "per-cell" => GridStrategy::PerCell,
+                    "fused" | "fused-columns" => GridStrategy::FusedColumns,
+                    other => return Err(format!("unknown strategy {other} (auto, cell, fused)")),
+                };
+            }
             "--warmup" if report_flags => {
                 parsed.warmup = Some(parse_u64(value("instruction count")?, "instruction count")?);
             }
@@ -306,10 +326,13 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
         json,
         instructions,
         predictors,
+        strategy,
         ..
     } = parse_sweep_flags("grid", flags, 1_000_000, registry(), false)?;
 
-    let engine = jobs.map_or_else(Engine::new, Engine::with_jobs);
+    let engine = jobs
+        .map_or_else(Engine::new, Engine::with_jobs)
+        .with_strategy(strategy);
     let started = std::time::Instant::now();
     let show_progress = !json;
     let grid = engine.run_grid_with_progress(&predictors, &benchmarks, instructions, &|update| {
@@ -332,15 +355,21 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
             grid_to_json(suite_name, instructions, engine.jobs(), &grid)
         );
     } else {
-        let mut table = TextTable::new(vec!["config", "mean MPKI", "Kbit"]);
-        let mut means = grid.mean_mpki_rows();
-        means.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        for (name, mean) in means {
+        let mut table = TextTable::new(vec!["config", "mean MPKI", "Kbit", "Mrec/s"]);
+        let mut means: Vec<(usize, &str, f64)> = grid
+            .mean_mpki_rows()
+            .into_iter()
+            .enumerate()
+            .map(|(p, (name, mean))| (p, name, mean))
+            .collect();
+        means.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
+        for (p, name, mean) in means {
             let kbit = lookup(name).map_or(0.0, |s| s.storage_kbit());
             table.row(vec![
                 name.to_owned(),
                 format!("{mean:.3}"),
                 format!("{kbit:.0}"),
+                format!("{:.2}", grid.row_records_per_sec(p) / 1e6),
             ]);
         }
         println!(
@@ -356,23 +385,6 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// The default configuration set of `bp report paper`: the Table 1/2
-/// ablation ladders plus the WH comparison points, in table order.
-const PAPER_REPORT_PREDICTORS: [&str; 12] = [
-    "tage-gsc",
-    "tage-gsc+sic",
-    "tage-gsc+imli",
-    "tage-gsc+wh",
-    "tage-sc-l",
-    "tage-sc-l+imli",
-    "gehl",
-    "gehl+imli",
-    "gehl+wh",
-    "ftl",
-    "ftl+imli",
-    "perceptron+imli",
-];
-
 /// Parses and runs `bp report <suite> [--jobs N] [--instr N]
 /// [--warmup N] [--json] [--family F] [--predictors a,b,c]
 /// [--out-dir D]`: the attributed (predictor × benchmark) grid, folded
@@ -387,10 +399,7 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
     let benchmarks = suite_by_name(suite_name)
         .ok_or_else(|| format!("unknown suite {suite_name} (try cbp4, cbp3, or paper)"))?;
     let default_predictors: Vec<PredictorSpec> = if suite_name.eq_ignore_ascii_case("paper") {
-        PAPER_REPORT_PREDICTORS
-            .iter()
-            .map(|n| lookup(n).expect("paper report predictors are registered"))
-            .collect()
+        paper_report_predictors()
     } else {
         registry()
     };
@@ -401,6 +410,7 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
         predictors,
         warmup,
         out_dir,
+        strategy: _,
     } = parse_sweep_flags("report", flags, 500_000, default_predictors, true)?;
     // Default warmup: the first fifth of each benchmark.
     let warmup = warmup.unwrap_or(instructions / 5);
@@ -447,13 +457,18 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
     if json {
         print!("{json_doc}");
     } else {
-        let mut table = TextTable::new(vec!["config", "mean MPKI", "steady MPKI", "Kbit"]);
-        for row in &report.rows {
+        // The Mrec/s column is live telemetry from the engine's
+        // per-cell timings; it goes to stdout only — the written
+        // report files stay byte-deterministic.
+        let mut table =
+            TextTable::new(vec!["config", "mean MPKI", "steady MPKI", "Kbit", "Mrec/s"]);
+        for (p, row) in report.rows.iter().enumerate() {
             table.row(vec![
                 row.name.clone(),
                 format!("{:.3}", row.mean_mpki()),
                 format!("{:.3}", row.steady_mpki()),
                 format!("{:.0}", row.storage_kbit()),
+                format!("{:.2}", report.row_records_per_sec(p) / 1e6),
             ]);
         }
         println!(
@@ -482,18 +497,24 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
 /// CI smoke setting.
 fn run_bench(flags: &[String]) -> Result<(), String> {
     let mut quick = false;
+    let mut sim = false;
     let mut instr: Option<u64> = None;
-    let mut out_path = "BENCH_trace_io.json".to_owned();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--quick" => quick = true,
+            "--sim" => sim = true,
             "--instr" => {
                 let v = it.next().ok_or("--instr needs an instruction count")?;
                 instr = Some(parse_u64(v, "instruction count")?);
             }
             "--out" => {
-                out_path = it.next().ok_or("--out needs a file path")?.clone();
+                out_path = Some(it.next().ok_or("--out needs a file path")?.clone());
+            }
+            "--baseline" => {
+                baseline_path = Some(it.next().ok_or("--baseline needs a file path")?.clone());
             }
             other => return Err(format!("unknown bench flag {other}")),
         }
@@ -501,6 +522,18 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
     if quick && instr.is_some() {
         return Err("--quick and --instr are mutually exclusive".to_owned());
     }
+    if baseline_path.is_some() && !sim {
+        return Err("--baseline only applies to bench --sim".to_owned());
+    }
+    if sim {
+        return run_sim_bench_cmd(
+            quick,
+            instr,
+            out_path.unwrap_or_else(|| "BENCH_sim.json".to_owned()),
+            baseline_path,
+        );
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_trace_io.json".to_owned());
     let instructions = instr.unwrap_or(if quick { 200_000 } else { 30_000_000 });
 
     let scratch = std::env::temp_dir().join(format!("bp-bench-{}", std::process::id()));
@@ -543,6 +576,87 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `bp bench --sim`: the simulator-throughput benchmark (see
+/// `bp_bench::sim_bench`), written as JSON to `BENCH_sim.json` (or
+/// `--out`) and summarized on stdout. `--baseline FILE` embeds a
+/// previous run's records/sec as the comparison baseline; `--quick` is
+/// the CI smoke setting.
+fn run_sim_bench_cmd(
+    quick: bool,
+    instr: Option<u64>,
+    out_path: String,
+    baseline_path: Option<String>,
+) -> Result<(), String> {
+    let instructions = instr.unwrap_or(if quick { 200_000 } else { 2_000_000 });
+    // The grid leg covers 12 predictors × 8 benchmarks; run it at the
+    // `bp report paper` default budget (a quarter of the throughput
+    // trace keeps full runs tolerable on one core).
+    let grid_instructions = (instructions / 4).max(10_000);
+    let baseline = match &baseline_path {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let parsed = parse_predictor_throughputs(&json);
+            if parsed.is_empty() {
+                return Err(format!("no predictor throughputs found in {path}"));
+            }
+            parsed
+        }
+        None => Vec::new(),
+    };
+
+    let report = run_sim_bench(instructions, grid_instructions, &baseline);
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    let with_baseline = report
+        .predictors
+        .iter()
+        .any(|p| p.baseline_records_per_sec.is_some());
+    let mut headers = vec!["config", "family", "Mrec/s"];
+    if with_baseline {
+        headers.push("baseline Mrec/s");
+        headers.push("speedup");
+    }
+    let mut table = TextTable::new(headers);
+    for p in &report.predictors {
+        let mut row = vec![
+            p.name.clone(),
+            p.family.clone(),
+            format!("{:.2}", p.records_per_sec / 1e6),
+        ];
+        if with_baseline {
+            row.push(
+                p.baseline_records_per_sec
+                    .map_or_else(|| "-".to_owned(), |b| format!("{:.2}", b / 1e6)),
+            );
+            row.push(
+                p.speedup()
+                    .map_or_else(|| "-".to_owned(), |s| format!("{s:.2}x")),
+            );
+        }
+        table.row(row);
+    }
+    println!(
+        "simulate throughput on {} ({} records, best of 3)\n{table}",
+        report.benchmark, report.predictors[0].records
+    );
+    let g = &report.grid;
+    println!(
+        "grid: {} predictors x {} benchmarks at {} instructions, {} jobs: \
+         per-cell {:.2}s, fused {:.2}s ({:.2}x), results identical: {}\nwrote {out_path}",
+        g.predictors,
+        g.benchmarks,
+        g.instructions,
+        g.jobs,
+        g.per_cell_seconds,
+        g.fused_seconds,
+        g.fused_speedup(),
+        g.fused_matches_per_cell,
+    );
+    Ok(())
+}
+
 fn grid_to_json(
     suite: &str,
     instructions: u64,
@@ -578,14 +692,30 @@ fn grid_to_json(
             }
             out.push_str(&format!("{:.6}", cell.mpki()));
         }
-        out.push_str("]}");
+        // Per-cell throughput telemetry (wall-clock, so not part of the
+        // deterministic sections): records/sec from the engine's
+        // per-cell timings.
+        out.push_str("], \"records_per_sec\": [");
+        for b in 0..grid.benchmarks.len() {
+            if b > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{:.1}", grid.records_per_sec(p, b)));
+        }
+        out.push_str(&format!(
+            "], \"row_records_per_sec\": {:.1}}}",
+            grid.row_records_per_sec(p)
+        ));
         out.push_str(if p + 1 < grid.predictors.len() {
             ",\n"
         } else {
             "\n"
         });
     }
-    out.push_str("  ]\n}");
+    out.push_str(&format!(
+        "  ],\n  \"mean_records_per_sec\": {:.1}\n}}",
+        grid.mean_records_per_sec()
+    ));
     out
 }
 
