@@ -7,7 +7,7 @@ use bp_bench::{instruction_budget, run_configs};
 use bp_sim::TextTable;
 use bp_workloads::{cbp3_suite, cbp4_suite};
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     let configs = [
         "tage-gsc",
         "tage-gsc+sic",
@@ -23,7 +23,7 @@ fn main() {
         ("CBP4", cbp4_suite(), &focus4[..]),
         ("CBP3", cbp3_suite(), &focus3[..]),
     ] {
-        let results = run_configs(&configs, &suite);
+        let results = run_configs(&configs, &suite)?;
         let mut table = TextTable::new(
             std::iter::once("benchmark".to_owned())
                 .chain(configs.iter().map(|c| (*c).to_owned()))
@@ -43,4 +43,5 @@ fn main() {
         table.row(mean_cells);
         println!("{label}:\n{table}");
     }
+    Ok(())
 }

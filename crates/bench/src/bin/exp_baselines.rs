@@ -9,7 +9,7 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::{make_predictor, TextTable};
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     let suites = both_suites();
     let configs = ["tage-gsc", "gehl", "gshare", "bimodal"];
     let mut table = TextTable::new(vec![
@@ -23,13 +23,15 @@ fn main() {
     // One engine grid per suite, all four configurations together.
     let per_suite: Vec<Vec<f64>> = suites
         .iter()
-        .map(|(_, specs)| {
-            run_configs(&configs, specs)
-                .iter()
-                .map(|r| r.mean_mpki())
-                .collect()
-        })
-        .collect();
+        .map(
+            |(_, specs)| -> Result<Vec<f64>, bp_bench::UnknownPredictorError> {
+                Ok(run_configs(&configs, specs)?
+                    .iter()
+                    .map(|r| r.mean_mpki())
+                    .collect())
+            },
+        )
+        .collect::<Result<_, _>>()?;
     for (i, config) in configs.iter().enumerate() {
         let storage = make_predictor(config).expect("registered").storage_bits();
         let mut cells = vec![
@@ -42,4 +44,5 @@ fn main() {
         table.row(cells);
     }
     println!("{table}");
+    Ok(())
 }

@@ -8,11 +8,11 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteComparison, TextTable};
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("Figures 10-11: IMLI on GEHL\n");
     let mut all_rows: Vec<(String, f64, f64)> = Vec::new();
     for (suite_name, specs) in both_suites() {
-        let [base, sic, imli]: [_; 3] = run_configs(&["gehl", "gehl+sic", "gehl+imli"], &specs)
+        let [base, sic, imli]: [_; 3] = run_configs(&["gehl", "gehl+sic", "gehl+imli"], &specs)?
             .try_into()
             .expect("three configs in, three results out");
         println!(
@@ -50,4 +50,5 @@ fn main() {
         ]);
     }
     println!("Figure 11 (top 15):\n{fig11}");
+    Ok(())
 }

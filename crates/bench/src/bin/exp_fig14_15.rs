@@ -8,10 +8,16 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteResult, TextTable};
 
-fn figure(host: &str, base: &str, plus_l: &str, plus_i: &str, plus_il: &str) {
+fn figure(
+    host: &str,
+    base: &str,
+    plus_l: &str,
+    plus_i: &str,
+    plus_il: &str,
+) -> Result<(), bp_bench::UnknownPredictorError> {
     let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for (suite_name, specs) in both_suites() {
-        let results: [SuiteResult; 4] = run_configs(&[base, plus_l, plus_i, plus_il], &specs)
+        let results: [SuiteResult; 4] = run_configs(&[base, plus_l, plus_i, plus_il], &specs)?
             .try_into()
             .expect("four configs in, four results out");
         for row in &results[0].rows {
@@ -43,9 +49,10 @@ fn figure(host: &str, base: &str, plus_l: &str, plus_i: &str, plus_il: &str) {
         ]);
     }
     println!("{host}: 25 most affected benchmarks\n{table}");
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("Figures 14-15 (§5): local history vs IMLI, per benchmark\n");
     figure(
         "TAGE (Figure 14)",
@@ -53,6 +60,6 @@ fn main() {
         "tage-sc-l",
         "tage-gsc+imli",
         "tage-sc-l+imli",
-    );
-    figure("GEHL (Figure 15)", "gehl", "ftl", "gehl+imli", "ftl+imli");
+    )?;
+    figure("GEHL (Figure 15)", "gehl", "ftl", "gehl+imli", "ftl+imli")
 }

@@ -9,12 +9,12 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteComparison, TextTable};
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("Figures 8-9: IMLI on TAGE-GSC\n");
     let mut all_rows: Vec<(String, f64, f64)> = Vec::new();
     for (suite_name, specs) in both_suites() {
         let [base, sic, imli]: [_; 3] =
-            run_configs(&["tage-gsc", "tage-gsc+sic", "tage-gsc+imli"], &specs)
+            run_configs(&["tage-gsc", "tage-gsc+sic", "tage-gsc+imli"], &specs)?
                 .try_into()
                 .expect("three configs in, three results out");
         println!(
@@ -54,4 +54,5 @@ fn main() {
         ]);
     }
     println!("Figure 9 (top 15):\n{fig9}");
+    Ok(())
 }

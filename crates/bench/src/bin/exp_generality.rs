@@ -14,7 +14,7 @@ use bp_workloads::cbp4_suite;
 
 const FOCUS: [&str; 4] = ["SPEC2K6-04", "SPEC2K6-12", "MM-4", "SPEC2K6-01"];
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("E-GEN: IMLI across host families (CBP4-like suite)\n");
     println!("budget: {} instructions/benchmark\n", instruction_budget());
     let suite = cbp4_suite();
@@ -33,7 +33,7 @@ fn main() {
         ("gehl", "gehl+imli"),
         ("perceptron", "perceptron+imli"),
     ] {
-        let [b, i]: [_; 2] = run_configs(&[base, with_imli], &suite)
+        let [b, i]: [_; 2] = run_configs(&[base, with_imli], &suite)?
             .try_into()
             .expect("two configs in, two results out");
         let mut cells = vec![
@@ -54,4 +54,5 @@ fn main() {
     println!("{table}");
     println!("shape check: the planted benchmarks improve on every host;");
     println!("the generic control (SPEC2K6-01) stays ~unchanged everywhere");
+    Ok(())
 }

@@ -20,13 +20,13 @@ const FOCUS: [&str; 8] = [
     "INT01",
 ];
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("E-OHWH / Figure 13: IMLI-OH vs WH (GEHL host)\n");
     for (suite_name, specs) in both_suites() {
         let [base, oh, wh, sic_wh, imli]: [_; 5] = run_configs(
             &["gehl", "gehl+oh", "gehl+wh", "gehl+sic+wh", "gehl+imli"],
             &specs,
-        )
+        )?
         .try_into()
         .expect("five configs in, five results out");
         println!(
@@ -52,4 +52,5 @@ fn main() {
     }
     println!("shape check: OH matches or beats WH on the diagonal benchmarks,");
     println!("and also helps the SIC-style benchmarks WH cannot track (SPEC2K6-04, WS04)");
+    Ok(())
 }

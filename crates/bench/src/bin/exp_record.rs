@@ -8,19 +8,21 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::{make_predictor, TextTable};
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("E-RECORD (§5): beating TAGE-SC-L with IMLI\n");
     let configs = ["tage-sc-l", "tage-gsc+imli", "tage-sc-l+imli"];
     // One engine grid per suite covering all three configurations.
     let per_suite: Vec<Vec<f64>> = both_suites()
         .iter()
-        .map(|(_, specs)| {
-            run_configs(&configs, specs)
-                .iter()
-                .map(|r| r.mean_mpki())
-                .collect()
-        })
-        .collect();
+        .map(
+            |(_, specs)| -> Result<Vec<f64>, bp_bench::UnknownPredictorError> {
+                Ok(run_configs(&configs, specs)?
+                    .iter()
+                    .map(|r| r.mean_mpki())
+                    .collect())
+            },
+        )
+        .collect::<Result<_, _>>()?;
     let mut table = TextTable::new(vec!["predictor", "size (Kbit)", "CBP4 MPKI", "CBP3 MPKI"]);
     let mut means = Vec::new();
     for (i, config) in configs.iter().enumerate() {
@@ -43,4 +45,5 @@ fn main() {
     );
     println!("shape check: tage-gsc+imli ~ matches tage-sc-l at ~20 Kbit less storage,");
     println!("and tage-sc-l+imli beats both");
+    Ok(())
 }

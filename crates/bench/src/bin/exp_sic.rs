@@ -10,7 +10,7 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::TextTable;
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("E-SIC (§4.2.2): IMLI-SIC alone + loop predictor redundancy\n");
     let mut table = TextTable::new(vec![
         "suite",
@@ -30,7 +30,7 @@ fn main() {
                 "tage-gsc+sic+loop",
             ],
             &specs,
-        );
+        )?;
         let [base, sic, lp, sic_lp]: [f64; 4] = results
             .iter()
             .map(|r| r.mean_mpki())
@@ -49,4 +49,5 @@ fn main() {
     }
     println!("{table}");
     println!("shape check: the last column must be clearly smaller than the one before it");
+    Ok(())
 }

@@ -16,19 +16,24 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::{make_predictor, TextTable};
 
-fn table_for(host: &str, configs: [(&str, &str); 4]) {
+fn table_for(
+    host: &str,
+    configs: [(&str, &str); 4],
+) -> Result<(), bp_bench::UnknownPredictorError> {
     let names: Vec<&str> = configs.iter().map(|(_, c)| *c).collect();
     // One engine grid per suite: all four configurations' cells are
     // scheduled together.
     let per_suite: Vec<Vec<f64>> = both_suites()
         .iter()
-        .map(|(_, specs)| {
-            run_configs(&names, specs)
-                .iter()
-                .map(|r| r.mean_mpki())
-                .collect()
-        })
-        .collect();
+        .map(
+            |(_, specs)| -> Result<Vec<f64>, bp_bench::UnknownPredictorError> {
+                Ok(run_configs(&names, specs)?
+                    .iter()
+                    .map(|r| r.mean_mpki())
+                    .collect())
+            },
+        )
+        .collect::<Result<_, _>>()?;
     let mut table = TextTable::new(vec![host, "size (Kbit)", "CBP4", "CBP3"]);
     let mut means: Vec<(f64, f64)> = Vec::new();
     for (i, (label, config)) in configs.iter().enumerate() {
@@ -53,9 +58,10 @@ fn table_for(host: &str, configs: [(&str, &str); 4]) {
         i.0 - il.0,
         i.1 - il.1
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("Tables 1 and 2 (§5)\n");
     println!("Table 1 (TAGE-GSC family):");
     table_for(
@@ -66,7 +72,7 @@ fn main() {
             ("+I", "tage-gsc+imli"),
             ("+I+L", "tage-sc-l+imli"),
         ],
-    );
+    )?;
     println!("Table 2 (GEHL family):");
     table_for(
         "GEHL",
@@ -76,5 +82,6 @@ fn main() {
             ("+I", "gehl+imli"),
             ("+I+L", "ftl+imli"),
         ],
-    );
+    )?;
+    Ok(())
 }

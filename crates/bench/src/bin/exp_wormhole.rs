@@ -8,12 +8,12 @@
 use bp_bench::{both_suites, run_configs};
 use bp_sim::{SuiteComparison, TextTable};
 
-fn main() {
+fn main() -> Result<(), bp_bench::UnknownPredictorError> {
     println!("E-WH (§3.3): WH as a side predictor");
     println!("paper: gains on exactly SPEC2K6-12, MM-4, CLIENT02, MM07\n");
     for (base, with_wh) in [("tage-gsc", "tage-gsc+wh"), ("gehl", "gehl+wh")] {
         for (suite_name, specs) in both_suites() {
-            let [baseline, variant]: [_; 2] = run_configs(&[base, with_wh], &specs)
+            let [baseline, variant]: [_; 2] = run_configs(&[base, with_wh], &specs)?
                 .try_into()
                 .expect("two configs in, two results out");
             let cmp = SuiteComparison::new(baseline, variant).expect("same suite");
@@ -33,4 +33,5 @@ fn main() {
             println!("{table}");
         }
     }
+    Ok(())
 }

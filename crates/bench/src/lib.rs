@@ -18,11 +18,54 @@
 
 #![warn(missing_docs)]
 
-use bp_sim::{lookup, run_suite, Engine, GridStrategy, PredictorSpec, SuiteResult};
+use bp_sim::{lookup, registry_names, run_suite, Engine, GridStrategy, PredictorSpec, SuiteResult};
 use bp_workloads::{cbp3_suite, cbp4_suite, BenchmarkSpec};
+use std::fmt;
 
 pub mod sim_bench;
 pub mod trace_bench;
+
+/// A requested configuration name that is not in the registry. The
+/// message lists every registered name, so a typo in an experiment
+/// binary (or a stale name after a registry rename) is immediately
+/// actionable instead of a bare panic.
+#[derive(Clone)]
+pub struct UnknownPredictorError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every registered configuration name, in registry order.
+    pub available: Vec<String>,
+}
+
+impl UnknownPredictorError {
+    fn new(name: &str) -> Self {
+        UnknownPredictorError {
+            name: name.to_owned(),
+            available: registry_names(),
+        }
+    }
+}
+
+impl fmt::Display for UnknownPredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown predictor `{}`; registered configurations: {}",
+            self.name,
+            self.available.join(", ")
+        )
+    }
+}
+
+/// Debug matches Display so `fn main() -> Result<_, UnknownPredictorError>`
+/// prints the readable message, not a struct dump.
+impl fmt::Debug for UnknownPredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for UnknownPredictorError {}
 
 /// Per-benchmark instruction budget (`IMLI_REPRO_INSTR`, default 2M).
 pub fn instruction_budget() -> u64 {
@@ -38,14 +81,14 @@ pub fn both_suites() -> Vec<(&'static str, Vec<BenchmarkSpec>)> {
     vec![("CBP4", cbp4_suite()), ("CBP3", cbp3_suite())]
 }
 
-/// Runs a registry configuration over a suite at the standard budget.
-///
-/// # Panics
-///
-/// Panics if `config` is not a registry name.
-pub fn run_config(config: &str, specs: &[BenchmarkSpec]) -> SuiteResult {
-    let spec = lookup(config).unwrap_or_else(|| panic!("unknown predictor {config}"));
-    run_suite(&spec.factory, specs, instruction_budget())
+/// Runs a registry configuration over a suite at the standard budget,
+/// or reports the unknown name along with every registered one.
+pub fn run_config(
+    config: &str,
+    specs: &[BenchmarkSpec],
+) -> Result<SuiteResult, UnknownPredictorError> {
+    let spec = lookup(config).ok_or_else(|| UnknownPredictorError::new(config))?;
+    Ok(run_suite(&|| spec.make(), specs, instruction_budget()))
 }
 
 /// Runs several registry configurations over a suite at the standard
@@ -60,21 +103,23 @@ pub fn run_config(config: &str, specs: &[BenchmarkSpec]) -> SuiteResult {
 /// once per configuration. Results are bit-identical to per-cell runs
 /// (the engine guarantees and tests this).
 ///
-/// # Panics
-///
-/// Panics if any name in `configs` is not a registry name.
-pub fn run_configs(configs: &[&str], specs: &[BenchmarkSpec]) -> Vec<SuiteResult> {
+/// Unknown names come back as an [`UnknownPredictorError`] listing
+/// every registered configuration.
+pub fn run_configs(
+    configs: &[&str],
+    specs: &[BenchmarkSpec],
+) -> Result<Vec<SuiteResult>, UnknownPredictorError> {
     let predictors: Vec<PredictorSpec> = configs
         .iter()
-        .map(|c| lookup(c).unwrap_or_else(|| panic!("unknown predictor {c}")))
-        .collect();
+        .map(|c| lookup(c).ok_or_else(|| UnknownPredictorError::new(c)))
+        .collect::<Result<_, _>>()?;
     let grid = Engine::new()
         .with_strategy(GridStrategy::FusedColumns)
         .run_grid(&predictors, specs, instruction_budget());
-    configs
+    Ok(configs
         .iter()
         .map(|c| grid.suite_result(c).expect("row for every config"))
-        .collect()
+        .collect())
 }
 
 /// Formats a signed MPKI delta the way the paper quotes them
@@ -132,8 +177,27 @@ mod tests {
         };
         for (config, grid_result) in ["bimodal", "gshare"].iter().zip(both) {
             let spec = bp_sim::lookup(config).expect("registered");
-            let solo = bp_sim::run_suite(&spec.factory, &specs, 20_000);
+            let solo = bp_sim::run_suite(&|| spec.make(), &specs, 20_000);
             assert_eq!(solo.rows, grid_result.rows, "{config}");
         }
+    }
+
+    #[test]
+    fn unknown_names_list_the_registry() {
+        let specs: Vec<_> = cbp4_suite().into_iter().take(1).collect();
+        let err = run_config("tage-gcs", &specs).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("unknown predictor `tage-gcs`"),
+            "{message}"
+        );
+        assert!(
+            message.contains("tage-gsc") && message.contains("bimodal"),
+            "{message}"
+        );
+        assert_eq!(format!("{err:?}"), message, "Debug must match Display");
+        let err = run_configs(&["bimodal", "nope"], &specs).unwrap_err();
+        assert_eq!(err.name, "nope");
+        assert_eq!(err.available, bp_sim::registry_names());
     }
 }

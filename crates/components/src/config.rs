@@ -1,0 +1,901 @@
+//! The typed predictor-configuration layer.
+//!
+//! The paper's claims are made at *fixed storage points* (its Tables 1
+//! and 2 quote every configuration in Kbit), which makes "what exactly
+//! is this predictor built from, and what does it cost?" a first-class
+//! question. This module answers it with data instead of code:
+//!
+//! * [`PredictorConfig`] — the trait every buildable predictor
+//!   configuration implements: non-panicking [`validate`], a
+//!   [`build`] that produces the boxed predictor, an exact
+//!   [`storage_bits_estimate`] (guaranteed — and property-tested — to
+//!   equal the built predictor's itemized
+//!   [`StorageBudget::storage_items`](crate::StorageBudget::storage_items)
+//!   sum), and a deterministic text round-trip via [`ConfigValue`];
+//! * [`ConfigValue`] — a hand-rolled JSON-subset document model
+//!   (objects, arrays, strings, integers, booleans) with a
+//!   byte-deterministic serializer and a recursive-descent parser. No
+//!   external dependencies: the vendor policy forbids serde, and the
+//!   subset predictor geometry needs is tiny;
+//! * [`BimodalConfig`] / [`GShareConfig`] — typed configurations for
+//!   the two baseline predictors that, until now, were only
+//!   constructible through hard-coded factory closures.
+//!
+//! The family crates (`bp-tage`, `bp-gehl`, `bp-perceptron`) implement
+//! [`PredictorConfig`] for their own config structs; `bp-sim`'s
+//! registry stores these values instead of opaque closures, and the
+//! budget-sweep solver scales them to hit target storage points.
+
+use crate::bimodal::Bimodal;
+use crate::gshare::GShare;
+use crate::predictor::ConditionalPredictor;
+use std::fmt;
+
+/// An error from configuration validation or parsing: a plain message,
+/// deterministic and human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Builds an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(message: String) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl From<&str> for ConfigError {
+    fn from(message: &str) -> Self {
+        ConfigError::new(message)
+    }
+}
+
+/// A JSON-subset document value: objects (insertion-ordered), arrays,
+/// strings, integers, and booleans. No floats, no null — predictor
+/// geometry is integral, and banning floats keeps serialization
+/// byte-deterministic without any formatting policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigValue {
+    /// `true` / `false`.
+    Bool(bool),
+    /// A (signed) integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    List(Vec<ConfigValue>),
+    /// An object. Field order is preserved and serialized as-is, which
+    /// is what makes `to_text` deterministic.
+    Map(Vec<(String, ConfigValue)>),
+}
+
+impl ConfigValue {
+    /// An empty object, to be filled with [`ConfigValue::set`].
+    pub fn map() -> Self {
+        ConfigValue::Map(Vec::new())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        ConfigValue::Str(s.into())
+    }
+
+    /// An integer value from any unsigned width used by the configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds `i64::MAX` (no predictor geometry does).
+    pub fn int(v: impl TryInto<i64>) -> Self {
+        ConfigValue::Int(
+            v.try_into()
+                .unwrap_or_else(|_| panic!("config integer out of i64 range")),
+        )
+    }
+
+    /// An array of `usize` values (the common `Vec<usize>` geometry
+    /// fields).
+    pub fn int_list(values: &[usize]) -> Self {
+        ConfigValue::List(values.iter().map(|&v| ConfigValue::int(v)).collect())
+    }
+
+    /// Appends a field to an object (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a [`ConfigValue::Map`].
+    #[must_use]
+    pub fn set(mut self, key: &str, value: ConfigValue) -> Self {
+        match &mut self {
+            ConfigValue::Map(fields) => fields.push((key.to_owned(), value)),
+            _ => panic!("set() on a non-map config value"),
+        }
+        self
+    }
+
+    /// Appends a field only when `value` is `Some` (optional sub-config
+    /// convention: absent key = `None`).
+    #[must_use]
+    pub fn set_opt(self, key: &str, value: Option<ConfigValue>) -> Self {
+        match value {
+            Some(v) => self.set(key, v),
+            None => self,
+        }
+    }
+
+    /// Looks a field up in an object.
+    pub fn get(&self, key: &str) -> Option<&ConfigValue> {
+        match self {
+            ConfigValue::Map(fields) => fields.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    /// Looks a required field up, with a descriptive error.
+    pub fn req(&self, key: &str) -> Result<&ConfigValue, ConfigError> {
+        self.get(key)
+            .ok_or_else(|| ConfigError::new(format!("missing config field `{key}`")))
+    }
+
+    /// Checks that the value is an object whose keys all appear in
+    /// `allowed` — the strict-parsing guard that turns config-file
+    /// typos into errors instead of silent defaults.
+    pub fn expect_keys(&self, what: &str, allowed: &[&str]) -> Result<(), ConfigError> {
+        let ConfigValue::Map(fields) = self else {
+            return Err(ConfigError::new(format!("{what} must be an object")));
+        };
+        for (key, _) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ConfigError::new(format!(
+                    "unknown {what} field `{key}` (expected one of: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The value as an `i64`.
+    pub fn as_i64(&self, what: &str) -> Result<i64, ConfigError> {
+        match self {
+            ConfigValue::Int(v) => Ok(*v),
+            _ => Err(ConfigError::new(format!("{what} must be an integer"))),
+        }
+    }
+
+    /// The value as a non-negative `usize`.
+    pub fn as_usize(&self, what: &str) -> Result<usize, ConfigError> {
+        let v = self.as_i64(what)?;
+        usize::try_from(v)
+            .map_err(|_| ConfigError::new(format!("{what} must be a non-negative integer")))
+    }
+
+    /// The value as an `i32`.
+    pub fn as_i32(&self, what: &str) -> Result<i32, ConfigError> {
+        let v = self.as_i64(what)?;
+        i32::try_from(v).map_err(|_| ConfigError::new(format!("{what} out of i32 range")))
+    }
+
+    /// The value as a `u64`.
+    pub fn as_u64(&self, what: &str) -> Result<u64, ConfigError> {
+        let v = self.as_i64(what)?;
+        u64::try_from(v)
+            .map_err(|_| ConfigError::new(format!("{what} must be a non-negative integer")))
+    }
+
+    /// The value as a `u8`.
+    pub fn as_u8(&self, what: &str) -> Result<u8, ConfigError> {
+        let v = self.as_i64(what)?;
+        u8::try_from(v).map_err(|_| ConfigError::new(format!("{what} out of u8 range")))
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self, what: &str) -> Result<bool, ConfigError> {
+        match self {
+            ConfigValue::Bool(v) => Ok(*v),
+            _ => Err(ConfigError::new(format!("{what} must be a boolean"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self, what: &str) -> Result<&str, ConfigError> {
+        match self {
+            ConfigValue::Str(v) => Ok(v),
+            _ => Err(ConfigError::new(format!("{what} must be a string"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_list(&self, what: &str) -> Result<&[ConfigValue], ConfigError> {
+        match self {
+            ConfigValue::List(v) => Ok(v),
+            _ => Err(ConfigError::new(format!("{what} must be an array"))),
+        }
+    }
+
+    /// The value as a `Vec<usize>`.
+    pub fn as_usize_list(&self, what: &str) -> Result<Vec<usize>, ConfigError> {
+        self.as_list(what)?
+            .iter()
+            .map(|v| v.as_usize(what))
+            .collect()
+    }
+
+    /// Serializes the value as deterministic pretty-printed JSON-subset
+    /// text: 2-space indentation, fields in insertion order, a trailing
+    /// newline. The same value always produces the same bytes.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            ConfigValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            ConfigValue::Int(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            ConfigValue::Str(v) => write_json_string(out, v),
+            ConfigValue::List(items) => {
+                // Arrays of scalars stay on one line; arrays holding any
+                // nested structure get one item per line.
+                let nested = items
+                    .iter()
+                    .any(|i| matches!(i, ConfigValue::List(_) | ConfigValue::Map(_)));
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if !nested {
+                            out.push(' ');
+                        }
+                    }
+                    if nested {
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                    }
+                    item.write(out, indent + 1);
+                }
+                if nested && !items.is_empty() {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push(']');
+            }
+            ConfigValue::Map(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_json_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                if !fields.is_empty() {
+                    out.push('\n');
+                    push_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON-subset text (see the type docs for the accepted
+    /// grammar). Rejects floats, `null`, duplicate object keys, and
+    /// trailing garbage, with character-offset error messages.
+    pub fn parse(text: &str) -> Result<ConfigValue, ConfigError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Escapes and quotes a string as a JSON string literal (quotes,
+/// backslashes, and control characters). The single escaping
+/// implementation every hand-rolled JSON emitter in the workspace
+/// shares (the vendor policy forbids serde), so the rules cannot
+/// drift between them.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_json_string(&mut out, s);
+    out
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The recursive-descent JSON-subset parser behind
+/// [`ConfigValue::parse`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Maximum container nesting [`ConfigValue::parse`] accepts. The
+/// recursive-descent parser recurses per level, so without a cap a
+/// deeply nested document would overflow the stack instead of
+/// returning an error. Predictor configs nest ~4 levels deep.
+const MAX_PARSE_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ConfigError {
+        ConfigError::new(format!(
+            "config parse error at byte {}: {message}",
+            self.pos
+        ))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ConfigError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<ConfigValue, ConfigError> {
+        match self.peek() {
+            Some(b'{') | Some(b'[') => {
+                if self.depth >= MAX_PARSE_DEPTH {
+                    return Err(self.err("document nests too deeply"));
+                }
+                self.depth += 1;
+                let v = if self.peek() == Some(b'{') {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                v
+            }
+            Some(b'"') => Ok(ConfigValue::Str(self.string()?)),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(b'-') | Some(b'0'..=b'9') => self.integer(),
+            Some(b'n') => Err(self.err("null is not part of the config subset")),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<ConfigValue, ConfigError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, ConfigValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(ConfigValue::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(ConfigValue::Map(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<ConfigValue, ConfigError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(ConfigValue::List(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(ConfigValue::List(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Result<ConfigValue, ConfigError> {
+        for (literal, value) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+                self.pos += literal.len();
+                return Ok(ConfigValue::Bool(value));
+            }
+        }
+        Err(self.err("expected `true` or `false`"))
+    }
+
+    fn integer(&mut self) -> Result<ConfigValue, ConfigError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(self.err("floats are not part of the config subset"));
+        }
+        let digits = &self.bytes[start + usize::from(self.bytes[start] == b'-')..self.pos];
+        if digits.len() > 1 && digits[0] == b'0' {
+            return Err(self.err("leading zeros are not valid JSON"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<i64>()
+            .map(ConfigValue::Int)
+            .map_err(|_| self.err(&format!("bad integer `{text}`")))
+    }
+
+    /// Reads 4 hex digits at byte offset `at` (the payload of a `\u`
+    /// escape).
+    fn hex4(&self, at: usize) -> Result<u32, ConfigError> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        // from_str_radix alone would also accept a leading sign.
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.err("bad \\u escape"));
+        }
+        let hex = std::str::from_utf8(hex).expect("hex digits are ASCII");
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
+    fn string(&mut self) -> Result<String, ConfigError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.hex4(self.pos + 1)?;
+                            let c = if (0xD800..=0xDBFF).contains(&code) {
+                                // A high surrogate: standard JSON
+                                // encoders emit astral-plane characters
+                                // as \uXXXX\uXXXX pairs.
+                                let lo_at = self.pos + 5;
+                                if self.bytes.get(lo_at..lo_at + 2) != Some(b"\\u".as_slice()) {
+                                    return Err(self.err("unpaired surrogate in \\u escape"));
+                                }
+                                let lo = self.hex4(lo_at + 2)?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate in \\u escape"));
+                                }
+                                self.pos += 6;
+                                let code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code).expect("valid surrogate pair")
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?
+                            };
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. The input
+                    // came in as `&str`, so the sequence is valid and
+                    // the lead byte gives its length — no need to
+                    // re-validate the rest of the document.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let c = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                        .expect("parse() input is &str, so always valid UTF-8")
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    out.push(c);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+}
+
+/// A buildable, serializable predictor configuration.
+///
+/// This is the contract the registry and the budget-sweep solver work
+/// against:
+///
+/// * [`validate`](PredictorConfig::validate) never panics — it returns
+///   the first geometry violation as a [`ConfigError`];
+/// * [`build`](PredictorConfig::build) constructs the predictor (it may
+///   panic on an invalid configuration; call `validate` first when the
+///   configuration came from user input);
+/// * [`storage_bits_estimate`](PredictorConfig::storage_bits_estimate)
+///   is **exact**, not approximate: it must equal the built predictor's
+///   [`StorageBudget::storage_items`](crate::StorageBudget::storage_items)
+///   sum bit-for-bit (the workspace property-tests this for every
+///   registry entry and every solver output). The "estimate" in the
+///   name means "without building": the budget solver evaluates
+///   thousands of candidate geometries and must not allocate megabytes
+///   of tables for each;
+/// * [`to_value`](PredictorConfig::to_value) /
+///   [`from_value`](PredictorConfig::from_value) round-trip the
+///   configuration through the deterministic [`ConfigValue`] document
+///   model (and [`to_text`](PredictorConfig::to_text) /
+///   [`from_text`](PredictorConfig::from_text) through its text form).
+pub trait PredictorConfig {
+    /// Checks the geometry, returning the first violation.
+    fn validate(&self) -> Result<(), ConfigError>;
+
+    /// Builds a fresh, cold predictor from this configuration.
+    fn build(&self) -> Box<dyn ConditionalPredictor + Send>;
+
+    /// Exact storage cost in bits of the predictor
+    /// [`build`](PredictorConfig::build) would produce, computed from
+    /// the configuration alone.
+    fn storage_bits_estimate(&self) -> u64;
+
+    /// Serializes the configuration as a [`ConfigValue`] document.
+    fn to_value(&self) -> ConfigValue;
+
+    /// Reconstructs a configuration from a [`ConfigValue`] document.
+    /// Strict: unknown fields are errors.
+    fn from_value(value: &ConfigValue) -> Result<Self, ConfigError>
+    where
+        Self: Sized;
+
+    /// Serializes to deterministic text ([`ConfigValue::to_text`]).
+    fn to_text(&self) -> String {
+        self.to_value().to_text()
+    }
+
+    /// Parses from text ([`ConfigValue::parse`] +
+    /// [`from_value`](PredictorConfig::from_value)).
+    fn from_text(text: &str) -> Result<Self, ConfigError>
+    where
+        Self: Sized,
+    {
+        Self::from_value(&ConfigValue::parse(text)?)
+    }
+}
+
+/// Configuration of the [`Bimodal`] baseline predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BimodalConfig {
+    /// log2 of the 2-bit-counter table entries.
+    pub log_entries: usize,
+}
+
+impl BimodalConfig {
+    /// The registry's calibration baseline: 16K entries (32 Kbit).
+    pub fn base() -> Self {
+        BimodalConfig { log_entries: 14 }
+    }
+}
+
+impl PredictorConfig for BimodalConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if !(2..=28).contains(&self.log_entries) {
+            return Err(ConfigError::new("bimodal log_entries must be in 2..=28"));
+        }
+        Ok(())
+    }
+
+    fn build(&self) -> Box<dyn ConditionalPredictor + Send> {
+        Box::new(Bimodal::new(1 << self.log_entries))
+    }
+
+    fn storage_bits_estimate(&self) -> u64 {
+        // One 2-bit counter per entry (`Bimodal::storage_items`).
+        (1u64 << self.log_entries) * 2
+    }
+
+    fn to_value(&self) -> ConfigValue {
+        ConfigValue::map().set("log_entries", ConfigValue::int(self.log_entries))
+    }
+
+    fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys("bimodal config", &["log_entries"])?;
+        Ok(BimodalConfig {
+            log_entries: value.req("log_entries")?.as_usize("log_entries")?,
+        })
+    }
+}
+
+/// Configuration of the [`GShare`] baseline predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GShareConfig {
+    /// log2 of the counter table entries.
+    pub log_entries: usize,
+    /// Global history bits XORed into the index.
+    pub history_bits: usize,
+}
+
+impl GShareConfig {
+    /// The registry's calibration baseline: 16K entries × 12 history
+    /// bits.
+    pub fn base() -> Self {
+        GShareConfig {
+            log_entries: 14,
+            history_bits: 12,
+        }
+    }
+}
+
+impl PredictorConfig for GShareConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if !(1..=28).contains(&self.log_entries) {
+            return Err(ConfigError::new("gshare log_entries must be in 1..=28"));
+        }
+        if self.history_bits > 64 {
+            return Err(ConfigError::new("gshare history_bits must be at most 64"));
+        }
+        Ok(())
+    }
+
+    fn build(&self) -> Box<dyn ConditionalPredictor + Send> {
+        Box::new(GShare::new(self.log_entries, self.history_bits))
+    }
+
+    fn storage_bits_estimate(&self) -> u64 {
+        // Counter table + history register (`GShare::storage_items`).
+        (1u64 << self.log_entries) * 2 + self.history_bits as u64
+    }
+
+    fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("log_entries", ConfigValue::int(self.log_entries))
+            .set("history_bits", ConfigValue::int(self.history_bits))
+    }
+
+    fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys("gshare config", &["log_entries", "history_bits"])?;
+        Ok(GShareConfig {
+            log_entries: value.req("log_entries")?.as_usize("log_entries")?,
+            history_bits: value.req("history_bits")?.as_usize("history_bits")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let doc = ConfigValue::map()
+            .set("name", ConfigValue::str("x \"quoted\"\n"))
+            .set("count", ConfigValue::int(42usize))
+            .set("neg", ConfigValue::Int(-7))
+            .set("flag", ConfigValue::Bool(true))
+            .set("lens", ConfigValue::int_list(&[4, 8, 12]))
+            .set(
+                "nested",
+                ConfigValue::map().set("inner", ConfigValue::int(1usize)),
+            )
+            .set("empty", ConfigValue::map())
+            .set("empty_list", ConfigValue::List(Vec::new()));
+        let text = doc.to_text();
+        let parsed = ConfigValue::parse(&text).expect("parses");
+        assert_eq!(parsed, doc);
+        // Deterministic: serializing the parse reproduces the bytes.
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(ConfigValue::parse("{").is_err());
+        assert!(ConfigValue::parse("{} x").is_err());
+        assert!(ConfigValue::parse("1.5").is_err());
+        assert!(ConfigValue::parse("null").is_err());
+        assert!(ConfigValue::parse("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(ConfigValue::parse("\"unterminated").is_err());
+        assert!(ConfigValue::parse("[1, ]").is_err());
+        assert!(ConfigValue::parse("007").is_err());
+        assert!(ConfigValue::parse("-007").is_err());
+        assert!(ConfigValue::parse("{\"s\": \"\\u+041\"}").is_err());
+        assert_eq!(ConfigValue::parse("-0").unwrap(), ConfigValue::Int(0));
+        let err = ConfigValue::parse("{\"a\" 1}").unwrap_err();
+        assert!(err.to_string().contains("expected `:`"), "{err}");
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_escapes() {
+        let v = ConfigValue::parse("  { \"a\" : [ 1 ,\n 2 ] , \"s\" : \"x\\u0041\\t\" }  ")
+            .expect("parses");
+        assert_eq!(v.req("a").unwrap().as_usize_list("a").unwrap(), vec![1, 2]);
+        assert_eq!(v.req("s").unwrap().as_str("s").unwrap(), "xA\t");
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth() {
+        // A deeply nested document must return an error, not overflow
+        // the stack.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = ConfigValue::parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("nests too deeply"), "{err}");
+        // Realistic nesting is far below the cap.
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(ConfigValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs_and_raw_astral_chars() {
+        // Standard encoders (e.g. python json.dump) emit astral-plane
+        // characters as \uXXXX\uXXXX surrogate pairs.
+        let v = ConfigValue::parse("{\"s\": \"x\\ud83d\\ude00y\"}").expect("parses");
+        assert_eq!(v.req("s").unwrap().as_str("s").unwrap(), "x\u{1f600}y");
+        // Raw (unescaped) astral characters round-trip through text.
+        let doc = ConfigValue::map().set("s", ConfigValue::str("名\u{1f600}"));
+        let text = doc.to_text();
+        assert_eq!(ConfigValue::parse(&text).expect("parses"), doc);
+        // Unpaired surrogates are errors, not replacement characters.
+        for bad in [
+            "{\"s\": \"\\ud83d\"}",
+            "{\"s\": \"\\ud83dx\"}",
+            "{\"s\": \"\\ud83d\\u0041\"}",
+            "{\"s\": \"\\ude00\"}",
+        ] {
+            assert!(ConfigValue::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn accessor_errors_are_descriptive() {
+        let v = ConfigValue::parse("{\"a\": 1}").unwrap();
+        assert!(v.req("b").unwrap_err().to_string().contains("`b`"));
+        assert!(v
+            .expect_keys("test config", &["z"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown test config field `a`"));
+        assert!(ConfigValue::Int(-1).as_usize("x").is_err());
+        assert!(ConfigValue::Bool(true).as_i64("x").is_err());
+        assert!(ConfigValue::Int(1).as_bool("x").is_err());
+    }
+
+    #[test]
+    fn baseline_configs_build_and_account_exactly() {
+        use crate::budget::StorageBudget;
+        for config in [BimodalConfig::base(), BimodalConfig { log_entries: 10 }] {
+            PredictorConfig::validate(&config).expect("valid");
+            assert_eq!(
+                config.storage_bits_estimate(),
+                config.build().storage_bits()
+            );
+            let round = BimodalConfig::from_text(&config.to_text()).expect("round-trips");
+            assert_eq!(round, config);
+        }
+        for config in [
+            GShareConfig::base(),
+            GShareConfig {
+                log_entries: 12,
+                history_bits: 10,
+            },
+        ] {
+            PredictorConfig::validate(&config).expect("valid");
+            assert_eq!(
+                config.storage_bits_estimate(),
+                config.build().storage_bits()
+            );
+            let round = GShareConfig::from_text(&config.to_text()).expect("round-trips");
+            assert_eq!(round, config);
+        }
+        assert!(PredictorConfig::validate(&BimodalConfig { log_entries: 1 }).is_err());
+        assert!(PredictorConfig::validate(&GShareConfig {
+            log_entries: 0,
+            history_bits: 4
+        })
+        .is_err());
+        assert!(PredictorConfig::validate(&GShareConfig {
+            log_entries: 10,
+            history_bits: 65
+        })
+        .is_err());
+    }
+}

@@ -19,13 +19,19 @@
 //!   accounting behind the paper's fixed-budget comparisons;
 //! * [`PredictionAttribution`]/[`ProviderComponent`] — the opt-in
 //!   instrumentation channel reporting which component provided each
-//!   prediction (consumed by `bp-sim`'s report layer).
+//!   prediction (consumed by `bp-sim`'s report layer);
+//! * [`PredictorConfig`]/[`ConfigValue`] — the typed configuration
+//!   layer: every predictor family is buildable, validatable, and
+//!   serializable from data (consumed by `bp-sim`'s registry and its
+//!   budget-sweep solver), with [`BimodalConfig`] and [`GShareConfig`]
+//!   covering the baselines defined in this crate.
 
 #![warn(missing_docs)]
 
 mod attribution;
 mod bimodal;
 mod budget;
+mod config;
 mod counter;
 mod gshare;
 mod hash;
@@ -37,6 +43,9 @@ mod threshold;
 pub use attribution::{ConfidenceBucket, PredictionAttribution, ProviderComponent};
 pub use bimodal::{Bimodal, BimodalTable};
 pub use budget::{StorageBudget, StorageItem};
+pub use config::{
+    json_string, BimodalConfig, ConfigError, ConfigValue, GShareConfig, PredictorConfig,
+};
 pub use counter::SaturatingCounter;
 pub use gshare::GShare;
 pub use hash::{fold_u64, mix64, pc_bits};

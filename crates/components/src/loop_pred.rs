@@ -44,6 +44,56 @@ impl LoopPredictorConfig {
             ..Self::default()
         }
     }
+
+    /// Checks the geometry, returning the first violation (the
+    /// non-panicking twin of the constructor's assertions).
+    pub fn check(&self) -> Result<(), crate::ConfigError> {
+        if !(1..=20).contains(&self.log_entries) {
+            return Err("loop log_entries out of range".into());
+        }
+        if !(1..=31).contains(&self.tag_bits) {
+            return Err("loop tag_bits out of range".into());
+        }
+        if !(1..=31).contains(&self.iter_bits) {
+            return Err("loop iter_bits out of range".into());
+        }
+        // The conf field is stored (and storage-charged) as 2 bits.
+        if !(1..=3).contains(&self.conf_max) {
+            return Err("loop conf_max must be in 1..=3".into());
+        }
+        Ok(())
+    }
+
+    /// Exact storage in bits of the built [`LoopPredictor`]
+    /// (`entries × (tag + 2·iter + conf + age + dir + valid)` — the same
+    /// formula as [`LoopPredictor::storage_bits`]).
+    pub fn storage_bits(&self) -> u64 {
+        let per_entry = self.tag_bits as u64 + 2 * self.iter_bits as u64 + 2 + 8 + 1 + 1;
+        (1u64 << self.log_entries) * per_entry
+    }
+
+    /// Serializes as a [`crate::ConfigValue`] object.
+    pub fn to_value(&self) -> crate::ConfigValue {
+        crate::ConfigValue::map()
+            .set("log_entries", crate::ConfigValue::int(self.log_entries))
+            .set("tag_bits", crate::ConfigValue::int(self.tag_bits))
+            .set("iter_bits", crate::ConfigValue::int(self.iter_bits))
+            .set("conf_max", crate::ConfigValue::int(self.conf_max))
+    }
+
+    /// Parses from a [`crate::ConfigValue`] object (strict keys).
+    pub fn from_value(value: &crate::ConfigValue) -> Result<Self, crate::ConfigError> {
+        value.expect_keys(
+            "loop config",
+            &["log_entries", "tag_bits", "iter_bits", "conf_max"],
+        )?;
+        Ok(LoopPredictorConfig {
+            log_entries: value.req("log_entries")?.as_usize("log_entries")?,
+            tag_bits: value.req("tag_bits")?.as_usize("tag_bits")?,
+            iter_bits: value.req("iter_bits")?.as_usize("iter_bits")?,
+            conf_max: value.req("conf_max")?.as_u8("conf_max")?,
+        })
+    }
 }
 
 /// One loop prediction.

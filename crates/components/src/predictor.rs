@@ -54,6 +54,40 @@ pub trait ConditionalPredictor: StorageBudget {
     fn name(&self) -> &str;
 }
 
+/// Boxed predictors forward the whole protocol, so composed predictors
+/// (e.g. the wormhole wrapper) can wrap a type-erased
+/// `Box<dyn ConditionalPredictor + Send>` built from a configuration
+/// value. `predict_attributed` forwards explicitly — falling back to
+/// the trait default would silently drop the inner predictor's
+/// attribution.
+impl ConditionalPredictor for Box<dyn ConditionalPredictor + Send> {
+    fn predict(&mut self, pc: u64) -> bool {
+        (**self).predict(pc)
+    }
+
+    fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
+        (**self).predict_attributed(pc)
+    }
+
+    fn update(&mut self, record: &BranchRecord) {
+        (**self).update(record)
+    }
+
+    fn notify_nonconditional(&mut self, record: &BranchRecord) {
+        (**self).notify_nonconditional(record)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl StorageBudget for Box<dyn ConditionalPredictor + Send> {
+    fn storage_items(&self) -> Vec<StorageItem> {
+        (**self).storage_items()
+    }
+}
+
 /// The trivial static predictor (predicts every branch taken). Useful as a
 /// floor baseline and for tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -1,5 +1,7 @@
 //! Configuration of the IMLI components.
 
+use bp_components::{ConfigError, ConfigValue};
+
 /// Geometry of the IMLI components.
 ///
 /// The default reproduces the paper's §4.4 budget of **708 bytes**:
@@ -119,31 +121,128 @@ impl ImliConfig {
     /// Panics if table sizes are not powers of two, the counter width is
     /// outside `1..=16`, or the outer-history table cannot hold
     /// `pipe_bits` tracked branches of at least one iteration each.
+    /// The non-panicking twin is [`ImliConfig::check`].
     pub fn validate(&self) {
-        assert!(
-            self.sic_entries.is_power_of_two() && self.oh_entries.is_power_of_two(),
-            "table entry counts must be powers of two"
-        );
-        assert!(
-            self.outer_history_bits.is_power_of_two(),
-            "outer history size must be a power of two"
-        );
-        assert!(
-            self.pipe_bits.is_power_of_two(),
-            "pipe vector width must be a power of two"
-        );
-        assert!(
-            (1..=16).contains(&self.counter_bits),
-            "counter width must be in 1..=16"
-        );
-        assert!(
-            self.outer_history_bits >= self.pipe_bits,
-            "outer history must cover every PIPE-tracked branch"
-        );
-        assert!(
-            (1..=7).contains(&self.sic_counter_bits) && (1..=7).contains(&self.oh_counter_bits),
-            "counter widths must be in 1..=7"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks internal consistency, returning the first violation
+    /// instead of panicking (the config-layer entry point; the
+    /// constructors keep panicking via [`ImliConfig::validate`]).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(self.sic_entries.is_power_of_two() && self.oh_entries.is_power_of_two()) {
+            return Err("table entry counts must be powers of two".into());
+        }
+        if self.sic_entries > 1 << 24 || self.oh_entries > 1 << 24 {
+            return Err("table entry counts must be at most 2^24".into());
+        }
+        if !self.outer_history_bits.is_power_of_two() {
+            return Err("outer history size must be a power of two".into());
+        }
+        if self.outer_history_bits < 64 {
+            // The outer-history structure is always constructed (IMLI-OH
+            // merely gates its use), and it stores whole 64-bit words.
+            return Err("outer history table must hold at least 64 bits".into());
+        }
+        if self.outer_history_bits > 1 << 24 {
+            return Err("outer history table must hold at most 2^24 bits".into());
+        }
+        if !self.pipe_bits.is_power_of_two() || self.pipe_bits > 16 {
+            return Err("pipe vector width must be a power of two <= 16".into());
+        }
+        if !(1..=16).contains(&self.counter_bits) {
+            return Err("counter width must be in 1..=16".into());
+        }
+        if self.outer_history_bits < self.pipe_bits {
+            return Err("outer history must cover every PIPE-tracked branch".into());
+        }
+        if !((1..=7).contains(&self.sic_counter_bits) && (1..=7).contains(&self.oh_counter_bits)) {
+            return Err("counter widths must be in 1..=7".into());
+        }
+        Ok(())
+    }
+
+    /// Exact storage in bits of the *built*
+    /// [`ImliState`](crate::ImliState) — its `storage_items` sum: the
+    /// counter, the SIC table when enabled, and (when IMLI-OH is
+    /// enabled) the OH prediction table plus the outer-history bit
+    /// table and PIPE vector.
+    ///
+    /// This differs from [`ImliConfig::storage_bits`], which reproduces
+    /// the paper's §4.4 *quoted* budget by rounding the counter+PIPE
+    /// group up to 4 bytes; the config layer needs the exact built
+    /// itemization.
+    pub fn state_storage_bits(&self) -> u64 {
+        let mut bits = self.counter_bits as u64;
+        if self.sic_enabled {
+            bits += (self.sic_entries * self.sic_counter_bits) as u64;
+        }
+        if self.oh_enabled {
+            bits += (self.oh_entries * self.oh_counter_bits) as u64
+                + self.outer_history_bits as u64
+                + self.pipe_bits as u64;
+        }
+        bits
+    }
+
+    /// Serializes as a [`ConfigValue`] object.
+    pub fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("counter_bits", ConfigValue::int(self.counter_bits))
+            .set("sic_entries", ConfigValue::int(self.sic_entries))
+            .set("sic_counter_bits", ConfigValue::int(self.sic_counter_bits))
+            .set(
+                "outer_history_bits",
+                ConfigValue::int(self.outer_history_bits),
+            )
+            .set("pipe_bits", ConfigValue::int(self.pipe_bits))
+            .set("oh_entries", ConfigValue::int(self.oh_entries))
+            .set("oh_counter_bits", ConfigValue::int(self.oh_counter_bits))
+            .set(
+                "outer_history_update_delay",
+                ConfigValue::int(self.outer_history_update_delay),
+            )
+            .set("sic_enabled", ConfigValue::Bool(self.sic_enabled))
+            .set("oh_enabled", ConfigValue::Bool(self.oh_enabled))
+    }
+
+    /// Parses from a [`ConfigValue`] object (strict keys).
+    pub fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys(
+            "imli config",
+            &[
+                "counter_bits",
+                "sic_entries",
+                "sic_counter_bits",
+                "outer_history_bits",
+                "pipe_bits",
+                "oh_entries",
+                "oh_counter_bits",
+                "outer_history_update_delay",
+                "sic_enabled",
+                "oh_enabled",
+            ],
+        )?;
+        Ok(ImliConfig {
+            counter_bits: value.req("counter_bits")?.as_usize("counter_bits")?,
+            sic_entries: value.req("sic_entries")?.as_usize("sic_entries")?,
+            sic_counter_bits: value
+                .req("sic_counter_bits")?
+                .as_usize("sic_counter_bits")?,
+            outer_history_bits: value
+                .req("outer_history_bits")?
+                .as_usize("outer_history_bits")?,
+            pipe_bits: value.req("pipe_bits")?.as_usize("pipe_bits")?,
+            oh_entries: value.req("oh_entries")?.as_usize("oh_entries")?,
+            oh_counter_bits: value.req("oh_counter_bits")?.as_usize("oh_counter_bits")?,
+            outer_history_update_delay: value
+                .req("outer_history_update_delay")?
+                .as_usize("outer_history_update_delay")?,
+            sic_enabled: value.req("sic_enabled")?.as_bool("sic_enabled")?,
+            oh_enabled: value.req("oh_enabled")?.as_bool("oh_enabled")?,
+        })
     }
 
     /// Iterations per tracked branch in the outer-history table

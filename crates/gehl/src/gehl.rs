@@ -1,9 +1,9 @@
 //! The GEHL predictor (Seznec 2005), with IMLI and FTL extensions.
 
 use bp_components::{
-    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket, LoopPredictor,
-    LoopPredictorConfig, PredictionAttribution, ProviderComponent, SignedCounterTable,
-    StorageBudget, StorageItem, SumCtx,
+    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket, ConfigError,
+    ConfigValue, LoopPredictor, LoopPredictorConfig, PredictionAttribution, PredictorConfig,
+    ProviderComponent, SignedCounterTable, StorageBudget, StorageItem, SumCtx,
 };
 use bp_history::{HistoryState, LocalHistoryTable};
 use bp_trace::BranchRecord;
@@ -129,24 +129,158 @@ impl GehlConfig {
     ///
     /// # Panics
     ///
-    /// Panics on degenerate table counts or history bounds.
+    /// Panics on degenerate table counts or history bounds. The
+    /// non-panicking twin is [`GehlConfig::check`].
     pub fn validate(&self) {
-        assert!(self.num_tables >= 2, "need at least two tables");
-        assert!(
-            self.min_history >= 1 && self.max_history > self.min_history,
-            "history bounds must be increasing"
-        );
-        assert!(
-            (6..=16).contains(&self.log_entries),
-            "log_entries out of range"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the geometry, returning the first violation instead of
+    /// panicking.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(2..=64).contains(&self.num_tables) {
+            return Err("table count must be in 2..=64".into());
+        }
+        if !(self.min_history >= 1 && self.max_history > self.min_history) {
+            return Err("history bounds must be increasing".into());
+        }
+        if self.max_history > 65536 {
+            return Err("max_history must be at most 65536".into());
+        }
+        if !(6..=16).contains(&self.log_entries) {
+            return Err("log_entries out of range".into());
+        }
+        if !(1..=7).contains(&self.counter_bits) {
+            return Err("counter width must be in 1..=7".into());
+        }
+        if !(0..=self.threshold_max).contains(&self.threshold_init) {
+            return Err("threshold_init must be in 0..=threshold_max".into());
+        }
         if let Some(imli) = &self.imli {
-            imli.validate();
+            imli.check()?;
         }
         if let Some((width, tables)) = self.local {
-            assert!((1..=32).contains(&width), "local width out of range");
-            assert!(tables >= 1, "need at least one local table");
+            if !(1..=32).contains(&width) {
+                return Err("local width out of range".into());
+            }
+            if tables < 1 {
+                return Err("need at least one local table".into());
+            }
         }
+        if let Some(lp) = &self.loop_predictor {
+            lp.check()?;
+        }
+        Ok(())
+    }
+}
+
+impl PredictorConfig for GehlConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        self.check()
+    }
+
+    fn build(&self) -> Box<dyn ConditionalPredictor + Send> {
+        Box::new(Gehl::new(self.clone()))
+    }
+
+    fn storage_bits_estimate(&self) -> u64 {
+        let entries = 1u64 << self.log_entries;
+        let cb = self.counter_bits as u64;
+        let mut bits = self.num_tables as u64 * entries * cb;
+        if let Some((width, tables)) = self.local {
+            // `Gehl::new` backs the local component with 256 histories.
+            bits += tables as u64 * entries * cb + 256 * width as u64;
+        }
+        if let Some(lp) = &self.loop_predictor {
+            bits += lp.storage_bits();
+        }
+        if let Some(imli) = &self.imli {
+            bits += imli.state_storage_bits();
+        }
+        bits
+    }
+
+    fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("name", ConfigValue::str(&self.name))
+            .set("log_entries", ConfigValue::int(self.log_entries))
+            .set("counter_bits", ConfigValue::int(self.counter_bits))
+            .set("num_tables", ConfigValue::int(self.num_tables))
+            .set("min_history", ConfigValue::int(self.min_history))
+            .set("max_history", ConfigValue::int(self.max_history))
+            .set("path_bits", ConfigValue::int(self.path_bits))
+            .set_opt("imli", self.imli.as_ref().map(ImliConfig::to_value))
+            .set_opt(
+                "local",
+                self.local.map(|(width, tables)| {
+                    ConfigValue::map()
+                        .set("history_width", ConfigValue::int(width))
+                        .set("num_tables", ConfigValue::int(tables))
+                }),
+            )
+            .set_opt(
+                "loop",
+                self.loop_predictor
+                    .as_ref()
+                    .map(LoopPredictorConfig::to_value),
+            )
+            .set(
+                "threshold_init",
+                ConfigValue::Int(i64::from(self.threshold_init)),
+            )
+            .set(
+                "threshold_max",
+                ConfigValue::Int(i64::from(self.threshold_max)),
+            )
+    }
+
+    fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys(
+            "gehl config",
+            &[
+                "name",
+                "log_entries",
+                "counter_bits",
+                "num_tables",
+                "min_history",
+                "max_history",
+                "path_bits",
+                "imli",
+                "local",
+                "loop",
+                "threshold_init",
+                "threshold_max",
+            ],
+        )?;
+        let local = value
+            .get("local")
+            .map(|local| -> Result<(usize, usize), ConfigError> {
+                local.expect_keys("gehl local config", &["history_width", "num_tables"])?;
+                Ok((
+                    local.req("history_width")?.as_usize("history_width")?,
+                    local.req("num_tables")?.as_usize("num_tables")?,
+                ))
+            })
+            .transpose()?;
+        Ok(GehlConfig {
+            name: value.req("name")?.as_str("name")?.to_owned(),
+            log_entries: value.req("log_entries")?.as_usize("log_entries")?,
+            counter_bits: value.req("counter_bits")?.as_usize("counter_bits")?,
+            num_tables: value.req("num_tables")?.as_usize("num_tables")?,
+            min_history: value.req("min_history")?.as_usize("min_history")?,
+            max_history: value.req("max_history")?.as_usize("max_history")?,
+            path_bits: value.req("path_bits")?.as_usize("path_bits")?,
+            imli: value.get("imli").map(ImliConfig::from_value).transpose()?,
+            local,
+            loop_predictor: value
+                .get("loop")
+                .map(LoopPredictorConfig::from_value)
+                .transpose()?,
+            threshold_init: value.req("threshold_init")?.as_i32("threshold_init")?,
+            threshold_max: value.req("threshold_max")?.as_i32("threshold_max")?,
+        })
     }
 }
 

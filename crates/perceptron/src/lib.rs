@@ -15,9 +15,9 @@
 #![warn(missing_docs)]
 
 use bp_components::{
-    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket,
-    PredictionAttribution, ProviderComponent, SignedCounterTable, StorageBudget, StorageItem,
-    SumCtx,
+    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket, ConfigError,
+    ConfigValue, PredictionAttribution, PredictorConfig, ProviderComponent, SignedCounterTable,
+    StorageBudget, StorageItem, SumCtx,
 };
 use bp_history::HistoryState;
 use bp_trace::BranchRecord;
@@ -76,23 +76,107 @@ impl PerceptronConfig {
     /// # Panics
     ///
     /// Panics on an empty segment list, out-of-range widths, or
-    /// non-increasing non-zero segments.
+    /// non-increasing non-zero segments. The non-panicking twin is
+    /// [`PerceptronConfig::check`].
     pub fn validate(&self) {
-        assert!(!self.segments.is_empty(), "need at least one table");
-        assert!(
-            (6..=16).contains(&self.log_entries),
-            "log_entries out of range"
-        );
-        assert!(
-            (2..=7).contains(&self.weight_bits),
-            "weight width out of range"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the geometry, returning the first violation instead of
+    /// panicking.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.segments.is_empty() {
+            return Err("need at least one table".into());
+        }
+        if self.segments.len() > 64 {
+            return Err("at most 64 tables".into());
+        }
+        if self.segments.iter().any(|&s| s > 65536) {
+            return Err("segments must be at most 65536".into());
+        }
+        if !(6..=16).contains(&self.log_entries) {
+            return Err("log_entries out of range".into());
+        }
+        if !(2..=7).contains(&self.weight_bits) {
+            return Err("weight width out of range".into());
+        }
+        if !(0..=self.threshold_max).contains(&self.threshold_init) {
+            return Err("threshold_init must be in 0..=threshold_max".into());
+        }
         for w in self.segments.windows(2) {
-            assert!(w[0] < w[1], "segments must be strictly increasing");
+            if w[0] >= w[1] {
+                return Err("segments must be strictly increasing".into());
+            }
         }
         if let Some(imli) = &self.imli {
-            imli.validate();
+            imli.check()?;
         }
+        Ok(())
+    }
+}
+
+impl PredictorConfig for PerceptronConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        self.check()
+    }
+
+    fn build(&self) -> Box<dyn ConditionalPredictor + Send> {
+        Box::new(HashedPerceptron::new(self.clone()))
+    }
+
+    fn storage_bits_estimate(&self) -> u64 {
+        let mut bits =
+            self.segments.len() as u64 * (1u64 << self.log_entries) * self.weight_bits as u64;
+        if let Some(imli) = &self.imli {
+            bits += imli.state_storage_bits();
+        }
+        bits
+    }
+
+    fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("name", ConfigValue::str(&self.name))
+            .set("log_entries", ConfigValue::int(self.log_entries))
+            .set("weight_bits", ConfigValue::int(self.weight_bits))
+            .set("segments", ConfigValue::int_list(&self.segments))
+            .set("path_bits", ConfigValue::int(self.path_bits))
+            .set_opt("imli", self.imli.as_ref().map(ImliConfig::to_value))
+            .set(
+                "threshold_init",
+                ConfigValue::Int(i64::from(self.threshold_init)),
+            )
+            .set(
+                "threshold_max",
+                ConfigValue::Int(i64::from(self.threshold_max)),
+            )
+    }
+
+    fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys(
+            "perceptron config",
+            &[
+                "name",
+                "log_entries",
+                "weight_bits",
+                "segments",
+                "path_bits",
+                "imli",
+                "threshold_init",
+                "threshold_max",
+            ],
+        )?;
+        Ok(PerceptronConfig {
+            name: value.req("name")?.as_str("name")?.to_owned(),
+            log_entries: value.req("log_entries")?.as_usize("log_entries")?,
+            weight_bits: value.req("weight_bits")?.as_usize("weight_bits")?,
+            segments: value.req("segments")?.as_usize_list("segments")?,
+            path_bits: value.req("path_bits")?.as_usize("path_bits")?,
+            imli: value.get("imli").map(ImliConfig::from_value).transpose()?,
+            threshold_init: value.req("threshold_init")?.as_i32("threshold_init")?,
+            threshold_max: value.req("threshold_max")?.as_i32("threshold_max")?,
+        })
     }
 }
 

@@ -177,7 +177,7 @@ impl Engine {
                 let mut predictor = spec.make();
                 let result = simulate_stream(predictor.as_mut(), bench.stream(instructions));
                 let label = CellLabel {
-                    predictor: spec.name,
+                    predictor: &spec.name,
                     benchmark: &bench.name,
                     mpki: result.mpki(),
                 };
@@ -222,7 +222,7 @@ impl Engine {
                     .iter()
                     .zip(&results)
                     .map(|(spec, result)| CellLabel {
-                        predictor: spec.name,
+                        predictor: &spec.name,
                         benchmark: &bench.name,
                         mpki: result.mpki(),
                     })

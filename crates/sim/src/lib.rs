@@ -37,13 +37,15 @@ mod report;
 mod run;
 mod speculative;
 mod suite;
+mod sweep;
 mod table;
 
 pub use analysis::{learning_curve, BranchProfile, MispredictionProfile};
 pub use engine::{CellUpdate, Engine, GridResult, GridStrategy};
 pub use registry::{
-    family_members, lookup, make_predictor, paper_report_predictors, registry, PredictorFactory,
-    PredictorFamily, PredictorSpec, PAPER_REPORT_NAMES,
+    configs, family_members, lookup, make_predictor, paper_report_predictors, registry,
+    registry_names, FamilyConfig, PredictorFamily, PredictorSpec, RegistryConfig,
+    PAPER_REPORT_NAMES,
 };
 pub use report::{
     run_report, simulate_stream_attributed, simulate_stream_attributed_multi, AttributedRun,
@@ -52,4 +54,8 @@ pub use report::{
 pub use run::{simulate, simulate_stream, simulate_stream_multi, Mpki, SimResult};
 pub use speculative::{speculative_imli_fidelity, SpeculationReport};
 pub use suite::{run_suite, SuiteComparison, SuiteMismatchError, SuiteResult};
+pub use sweep::{
+    parse_predictor_file, parse_sweep_file, run_sweep, solve_budget, SweepFileConfig, SweepReport,
+    SweepRow, BUDGET_TOLERANCE, STANDARD_BUDGETS_KBIT, SWEEP_FAMILIES,
+};
 pub use table::TextTable;

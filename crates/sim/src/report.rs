@@ -428,7 +428,7 @@ pub fn run_report(
                     .iter()
                     .zip(&runs)
                     .map(|(spec, run)| CellLabel {
-                        predictor: spec.name,
+                        predictor: &spec.name,
                         benchmark: &bench.name,
                         mpki: run.result.mpki(),
                     })
@@ -453,7 +453,7 @@ pub fn run_report(
                     warmup_instructions,
                 );
                 let label = CellLabel {
-                    predictor: spec.name,
+                    predictor: &spec.name,
                     benchmark: &bench.name,
                     mpki: run.result.mpki(),
                 };
@@ -504,26 +504,7 @@ pub fn run_report(
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control bytes).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+use bp_components::json_string as json_str;
 
 fn attribution_json(summary: &AttributionSummary, indent: &str) -> String {
     let mut out = String::from("{");

@@ -3,8 +3,9 @@
 use crate::sc::{LocalScConfig, ScConfig, StatisticalCorrector};
 use crate::tage::{Tage, TageConfig};
 use bp_components::{
-    ConditionalPredictor, ConfidenceBucket, LoopPredictor, LoopPredictorConfig,
-    PredictionAttribution, ProviderComponent, StorageBudget, StorageItem,
+    ConditionalPredictor, ConfidenceBucket, ConfigError, ConfigValue, LoopPredictor,
+    LoopPredictorConfig, PredictionAttribution, PredictorConfig, ProviderComponent, StorageBudget,
+    StorageItem,
 };
 use bp_trace::BranchRecord;
 use imli::{ImliCheckpoint, ImliConfig};
@@ -126,6 +127,59 @@ impl TageScConfig {
         self.sc.imli = Some(imli);
         self.name = rename.to_owned();
         self
+    }
+}
+
+impl PredictorConfig for TageScConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        self.tage.check()?;
+        self.sc.check()?;
+        if let Some(lp) = &self.loop_predictor {
+            lp.check()?;
+        }
+        if self.name.is_empty() {
+            return Err("predictor name must not be empty".into());
+        }
+        Ok(())
+    }
+
+    fn build(&self) -> Box<dyn ConditionalPredictor + Send> {
+        Box::new(TageSc::new(self.clone()))
+    }
+
+    fn storage_bits_estimate(&self) -> u64 {
+        self.tage.storage_bits()
+            + self.sc.storage_bits()
+            + self
+                .loop_predictor
+                .as_ref()
+                .map_or(0, LoopPredictorConfig::storage_bits)
+    }
+
+    fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("name", ConfigValue::str(&self.name))
+            .set("tage", self.tage.to_value())
+            .set("sc", self.sc.to_value())
+            .set_opt(
+                "loop",
+                self.loop_predictor
+                    .as_ref()
+                    .map(LoopPredictorConfig::to_value),
+            )
+    }
+
+    fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys("tage-sc config", &["name", "tage", "sc", "loop"])?;
+        Ok(TageScConfig {
+            name: value.req("name")?.as_str("name")?.to_owned(),
+            tage: crate::TageConfig::from_value(value.req("tage")?)?,
+            sc: crate::ScConfig::from_value(value.req("sc")?)?,
+            loop_predictor: value
+                .get("loop")
+                .map(LoopPredictorConfig::from_value)
+                .transpose()?,
+        })
     }
 }
 

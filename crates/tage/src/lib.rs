@@ -19,7 +19,7 @@ mod sc;
 mod tage;
 
 pub use composed::{TageSc, TageScConfig};
-pub use sc::{ScConfig, StatisticalCorrector};
+pub use sc::{LocalScConfig, ScConfig, StatisticalCorrector};
 pub use tage::{Tage, TageConfig, TageLookup, MAX_TAGE_TABLES};
 
 /// The paper's TAGE-GSC reference predictor (TAGE + global-history

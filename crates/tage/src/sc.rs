@@ -7,7 +7,10 @@
 //! prediction is the sign of the sum; counters train on a misprediction
 //! or when the sum's magnitude falls below an adaptive threshold.
 
-use bp_components::{mix64, pc_bits, AdaptiveThreshold, SignedCounterTable, StorageItem, SumCtx};
+use bp_components::{
+    mix64, pc_bits, AdaptiveThreshold, ConfigError, ConfigValue, SignedCounterTable, StorageItem,
+    SumCtx,
+};
 use bp_history::LocalHistoryTable;
 use bp_trace::BranchRecord;
 use imli::{ImliConfig, ImliSic, ImliState};
@@ -83,38 +86,192 @@ impl Default for ScConfig {
     }
 }
 
+impl LocalScConfig {
+    /// Serializes as a [`ConfigValue`] object.
+    pub fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("history_entries", ConfigValue::int(self.history_entries))
+            .set("history_width", ConfigValue::int(self.history_width))
+            .set("table_entries", ConfigValue::int(self.table_entries))
+            .set("lengths", ConfigValue::int_list(&self.lengths))
+    }
+
+    /// Parses from a [`ConfigValue`] object (strict keys).
+    pub fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys(
+            "local sc config",
+            &[
+                "history_entries",
+                "history_width",
+                "table_entries",
+                "lengths",
+            ],
+        )?;
+        Ok(LocalScConfig {
+            history_entries: value.req("history_entries")?.as_usize("history_entries")?,
+            history_width: value.req("history_width")?.as_usize("history_width")?,
+            table_entries: value.req("table_entries")?.as_usize("table_entries")?,
+            lengths: value.req("lengths")?.as_usize_list("lengths")?,
+        })
+    }
+}
+
 impl ScConfig {
     /// Validates the geometry.
     ///
     /// # Panics
     ///
     /// Panics on non-power-of-two table sizes or empty length lists.
+    /// The non-panicking twin is [`ScConfig::check`].
     pub fn validate(&self) {
-        assert!(
-            self.bias_entries.is_power_of_two() && self.table_entries.is_power_of_two(),
-            "table sizes must be powers of two"
-        );
-        assert!(!self.global_lengths.is_empty(), "need global tables");
-        assert!(
-            self.global_lengths.iter().all(|&l| (1..=64).contains(&l)),
-            "global lengths must be in 1..=64"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the geometry, returning the first violation instead of
+    /// panicking.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(self.bias_entries.is_power_of_two() && self.table_entries.is_power_of_two()) {
+            return Err("table sizes must be powers of two".into());
+        }
+        if self.bias_entries > 1 << 24 || self.table_entries > 1 << 24 {
+            return Err("table sizes must be at most 2^24 entries".into());
+        }
+        if self.global_lengths.is_empty() {
+            return Err("need global tables".into());
+        }
+        if self.global_lengths.len() > 64 {
+            return Err("at most 64 global tables".into());
+        }
+        if !self.global_lengths.iter().all(|&l| (1..=64).contains(&l)) {
+            return Err("global lengths must be in 1..=64".into());
+        }
+        if !(0..=1024).contains(&self.tage_weight) {
+            return Err("tage_weight must be in 0..=1024".into());
+        }
+        if !(1..=7).contains(&self.counter_bits) {
+            return Err("sc counter width must be in 1..=7".into());
+        }
+        if !(0..=self.threshold_max).contains(&self.threshold_init) {
+            return Err("threshold_init must be in 0..=threshold_max".into());
+        }
         if let Some(local) = &self.local {
-            assert!(
-                local.history_entries.is_power_of_two() && local.table_entries.is_power_of_two(),
-                "local table sizes must be powers of two"
-            );
-            assert!(
-                local
-                    .lengths
-                    .iter()
-                    .all(|&l| l >= 1 && l <= local.history_width),
-                "local lengths must fit the history width"
-            );
+            if !(local.history_entries.is_power_of_two() && local.table_entries.is_power_of_two()) {
+                return Err("local table sizes must be powers of two".into());
+            }
+            if local.history_entries > 1 << 24 || local.table_entries > 1 << 24 {
+                return Err("local table sizes must be at most 2^24 entries".into());
+            }
+            if local.lengths.is_empty() || local.lengths.len() > 64 {
+                return Err("local tables must number 1..=64".into());
+            }
+            if !(1..=32).contains(&local.history_width) {
+                return Err("local history width must be in 1..=32".into());
+            }
+            if !local
+                .lengths
+                .iter()
+                .all(|&l| l >= 1 && l <= local.history_width)
+            {
+                return Err("local lengths must fit the history width".into());
+            }
         }
         if let Some(imli) = &self.imli {
-            imli.validate();
+            imli.check()?;
         }
+        Ok(())
+    }
+
+    /// Exact storage in bits of the built [`StatisticalCorrector`]: two
+    /// bias tables, the global (and optional local) GEHL tables, the
+    /// local history file, the IMLI structures, and the
+    /// adaptive-threshold registers — the same itemization as
+    /// [`StatisticalCorrector::storage_items`], computed from the
+    /// configuration alone.
+    pub fn storage_bits(&self) -> u64 {
+        let cb = self.counter_bits as u64;
+        let mut bits = 2 * self.bias_entries as u64 * cb;
+        bits += self.global_lengths.len() as u64 * self.table_entries as u64 * cb;
+        if let Some(local) = &self.local {
+            bits += local.lengths.len() as u64 * local.table_entries as u64 * cb;
+            bits += (local.history_entries * local.history_width) as u64;
+        }
+        if let Some(imli) = &self.imli {
+            bits += imli.state_storage_bits();
+        }
+        // AdaptiveThreshold::storage_bits: θ register + 8-bit counter.
+        bits += u64::from(32 - (self.threshold_max as u32).leading_zeros().min(31)) + 8;
+        bits
+    }
+
+    /// Serializes as a [`ConfigValue`] object.
+    pub fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("bias_entries", ConfigValue::int(self.bias_entries))
+            .set("table_entries", ConfigValue::int(self.table_entries))
+            .set("counter_bits", ConfigValue::int(self.counter_bits))
+            .set(
+                "global_lengths",
+                ConfigValue::int_list(&self.global_lengths),
+            )
+            .set("tage_weight", ConfigValue::Int(i64::from(self.tage_weight)))
+            .set_opt("imli", self.imli.as_ref().map(imli::ImliConfig::to_value))
+            .set(
+                "imli_in_global_indices",
+                ConfigValue::Bool(self.imli_in_global_indices),
+            )
+            .set_opt("local", self.local.as_ref().map(LocalScConfig::to_value))
+            .set(
+                "threshold_init",
+                ConfigValue::Int(i64::from(self.threshold_init)),
+            )
+            .set(
+                "threshold_max",
+                ConfigValue::Int(i64::from(self.threshold_max)),
+            )
+    }
+
+    /// Parses from a [`ConfigValue`] object (strict keys; absent `imli`
+    /// / `local` mean "component not present").
+    pub fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys(
+            "sc config",
+            &[
+                "bias_entries",
+                "table_entries",
+                "counter_bits",
+                "global_lengths",
+                "tage_weight",
+                "imli",
+                "imli_in_global_indices",
+                "local",
+                "threshold_init",
+                "threshold_max",
+            ],
+        )?;
+        Ok(ScConfig {
+            bias_entries: value.req("bias_entries")?.as_usize("bias_entries")?,
+            table_entries: value.req("table_entries")?.as_usize("table_entries")?,
+            counter_bits: value.req("counter_bits")?.as_usize("counter_bits")?,
+            global_lengths: value
+                .req("global_lengths")?
+                .as_usize_list("global_lengths")?,
+            tage_weight: value.req("tage_weight")?.as_i32("tage_weight")?,
+            imli: value
+                .get("imli")
+                .map(imli::ImliConfig::from_value)
+                .transpose()?,
+            imli_in_global_indices: value
+                .req("imli_in_global_indices")?
+                .as_bool("imli_in_global_indices")?,
+            local: value
+                .get("local")
+                .map(LocalScConfig::from_value)
+                .transpose()?,
+            threshold_init: value.req("threshold_init")?.as_i32("threshold_init")?,
+            threshold_max: value.req("threshold_max")?.as_i32("threshold_max")?,
+        })
     }
 }
 

@@ -1,6 +1,8 @@
 //! The TAGE predictor (Seznec & Michaud 2006; Seznec 2011).
 
-use bp_components::{fold_u64, pc_bits, BimodalTable, SaturatingCounter, StorageItem};
+use bp_components::{
+    fold_u64, pc_bits, BimodalTable, ConfigError, ConfigValue, SaturatingCounter, StorageItem,
+};
 use bp_history::HistoryState;
 
 /// Geometry of a [`Tage`] predictor.
@@ -78,29 +80,108 @@ impl TageConfig {
     /// # Panics
     ///
     /// Panics on an empty table list, non-increasing history bounds, or
-    /// out-of-range widths.
+    /// out-of-range widths. The non-panicking twin is
+    /// [`TageConfig::check`].
     pub fn validate(&self) {
-        assert!(!self.tag_bits.is_empty(), "at least one tagged table");
-        assert!(
-            self.tag_bits.len() <= MAX_TAGE_TABLES,
-            "at most {MAX_TAGE_TABLES} tagged tables"
-        );
-        assert!(
-            (2..=24).contains(&self.tagged_log_entries),
-            "tagged_log_entries must be in 2..=24"
-        );
-        assert!(
-            self.min_history >= 1 && self.max_history > self.min_history,
-            "history bounds must be increasing"
-        );
-        assert!(
-            self.tag_bits.iter().all(|&t| (4..=16).contains(&t)),
-            "tag widths must be in 4..=16"
-        );
-        assert!(
-            (2..=5).contains(&self.counter_bits) && (1..=4).contains(&self.useful_bits),
-            "counter widths out of range"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the geometry, returning the first violation instead of
+    /// panicking.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.tag_bits.is_empty() {
+            return Err("at least one tagged table".into());
+        }
+        if self.tag_bits.len() > MAX_TAGE_TABLES {
+            return Err(format!("at most {MAX_TAGE_TABLES} tagged tables").into());
+        }
+        if !(2..=24).contains(&self.tagged_log_entries) {
+            return Err("tagged_log_entries must be in 2..=24".into());
+        }
+        if !(2..=24).contains(&self.base_log_entries) {
+            return Err("base_log_entries must be in 2..=24".into());
+        }
+        if !(self.min_history >= 1 && self.max_history > self.min_history) {
+            return Err("history bounds must be increasing".into());
+        }
+        if self.max_history > 65536 {
+            return Err("max_history must be at most 65536".into());
+        }
+        if !self.tag_bits.iter().all(|&t| (4..=16).contains(&t)) {
+            return Err("tag widths must be in 4..=16".into());
+        }
+        if !((2..=5).contains(&self.counter_bits) && (1..=4).contains(&self.useful_bits)) {
+            return Err("counter widths out of range".into());
+        }
+        Ok(())
+    }
+
+    /// Exact storage in bits of the built [`Tage`]: the
+    /// shared-hysteresis base (`2^b + 2^b/4`), every tagged bank
+    /// (`2^t × (counter + useful + tag)`), and the 4-bit
+    /// `use_alt_on_na` register — the same itemization as
+    /// [`Tage::storage_items`], computed from the configuration alone.
+    pub fn storage_bits(&self) -> u64 {
+        let base = 1u64 << self.base_log_entries;
+        let entries = 1u64 << self.tagged_log_entries;
+        let tagged: u64 = self
+            .tag_bits
+            .iter()
+            .map(|&tag| entries * (self.counter_bits + self.useful_bits + tag) as u64)
+            .sum();
+        base + base / BimodalTable::HYST_SHARE as u64 + tagged + 4
+    }
+
+    /// Serializes as a [`ConfigValue`] object.
+    pub fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("base_log_entries", ConfigValue::int(self.base_log_entries))
+            .set(
+                "tagged_log_entries",
+                ConfigValue::int(self.tagged_log_entries),
+            )
+            .set("tag_bits", ConfigValue::int_list(&self.tag_bits))
+            .set("min_history", ConfigValue::int(self.min_history))
+            .set("max_history", ConfigValue::int(self.max_history))
+            .set("counter_bits", ConfigValue::int(self.counter_bits))
+            .set("useful_bits", ConfigValue::int(self.useful_bits))
+            .set("path_bits", ConfigValue::int(self.path_bits))
+            .set("reset_period", ConfigValue::int(self.reset_period))
+    }
+
+    /// Parses from a [`ConfigValue`] object (strict keys).
+    pub fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys(
+            "tage config",
+            &[
+                "base_log_entries",
+                "tagged_log_entries",
+                "tag_bits",
+                "min_history",
+                "max_history",
+                "counter_bits",
+                "useful_bits",
+                "path_bits",
+                "reset_period",
+            ],
+        )?;
+        Ok(TageConfig {
+            base_log_entries: value
+                .req("base_log_entries")?
+                .as_usize("base_log_entries")?,
+            tagged_log_entries: value
+                .req("tagged_log_entries")?
+                .as_usize("tagged_log_entries")?,
+            tag_bits: value.req("tag_bits")?.as_usize_list("tag_bits")?,
+            min_history: value.req("min_history")?.as_usize("min_history")?,
+            max_history: value.req("max_history")?.as_usize("max_history")?,
+            counter_bits: value.req("counter_bits")?.as_usize("counter_bits")?,
+            useful_bits: value.req("useful_bits")?.as_usize("useful_bits")?,
+            path_bits: value.req("path_bits")?.as_usize("path_bits")?,
+            reset_period: value.req("reset_period")?.as_u64("reset_period")?,
+        })
     }
 }
 

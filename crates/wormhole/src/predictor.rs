@@ -1,6 +1,6 @@
 //! The tagged wormhole entry array.
 
-use bp_components::{pc_bits, SaturatingCounter};
+use bp_components::{pc_bits, ConfigError, ConfigValue, SaturatingCounter};
 
 /// Configuration of the [`Wormhole`] predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,82 @@ impl Default for WormholeConfig {
             counter_bits: 3,
             confidence_threshold: 2,
         }
+    }
+}
+
+impl WormholeConfig {
+    /// Checks the geometry, returning the first violation (the
+    /// non-panicking twin of the constructor's assertions).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(1..=1 << 20).contains(&self.entries) {
+            return Err("entries must be in 1..=2^20".into());
+        }
+        if !(3..=128).contains(&self.history_bits) {
+            return Err("history bits must be in 3..=128".into());
+        }
+        if !(1..=31).contains(&self.tag_bits) {
+            return Err("tag bits must be in 1..=31".into());
+        }
+        if !(1..=7).contains(&self.counter_bits) {
+            return Err("counter width must be in 1..=7".into());
+        }
+        // A counter_bits-wide saturating counter's confidence tops out
+        // at 2^(counter_bits-1) - 1; a threshold above that would make
+        // the side predictor silently inert.
+        let max_confidence = (1u8 << (self.counter_bits - 1)) - 1;
+        if self.confidence_threshold > max_confidence {
+            return Err(format!(
+                "confidence_threshold {} is unreachable for a {}-bit counter (max {})",
+                self.confidence_threshold, self.counter_bits, max_confidence
+            )
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Exact storage in bits of the built [`Wormhole`]
+    /// (`entries × (tag + valid + history + 8 counters + age)` — the
+    /// same formula as [`Wormhole::storage_bits`]).
+    pub fn storage_bits(&self) -> u64 {
+        let per_entry =
+            self.tag_bits as u64 + 1 + self.history_bits as u64 + 8 * self.counter_bits as u64 + 8;
+        self.entries as u64 * per_entry
+    }
+
+    /// Serializes as a [`ConfigValue`] object.
+    pub fn to_value(&self) -> ConfigValue {
+        ConfigValue::map()
+            .set("entries", ConfigValue::int(self.entries))
+            .set("tag_bits", ConfigValue::int(self.tag_bits))
+            .set("history_bits", ConfigValue::int(self.history_bits))
+            .set("counter_bits", ConfigValue::int(self.counter_bits))
+            .set(
+                "confidence_threshold",
+                ConfigValue::int(self.confidence_threshold),
+            )
+    }
+
+    /// Parses from a [`ConfigValue`] object (strict keys).
+    pub fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        value.expect_keys(
+            "wormhole config",
+            &[
+                "entries",
+                "tag_bits",
+                "history_bits",
+                "counter_bits",
+                "confidence_threshold",
+            ],
+        )?;
+        Ok(WormholeConfig {
+            entries: value.req("entries")?.as_usize("entries")?,
+            tag_bits: value.req("tag_bits")?.as_usize("tag_bits")?,
+            history_bits: value.req("history_bits")?.as_usize("history_bits")?,
+            counter_bits: value.req("counter_bits")?.as_usize("counter_bits")?,
+            confidence_threshold: value
+                .req("confidence_threshold")?
+                .as_u8("confidence_threshold")?,
+        })
     }
 }
 

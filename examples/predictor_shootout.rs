@@ -29,7 +29,7 @@ fn main() {
 
     let mut rows: Vec<(String, f64, u64)> = Vec::new();
     for spec in registry() {
-        let result = run_suite(&spec.factory, &suite, 400_000);
+        let result = run_suite(&|| spec.make(), &suite, 400_000);
         rows.push((
             spec.name.to_owned(),
             result.mean_mpki(),

@@ -1,8 +1,11 @@
 //! `bp` — command-line front end for the IMLI reproduction.
 //!
 //! ```text
+//! bp list                       list the registered predictor
+//!                               configurations (name, family, paper
+//!                               reference, exact storage)
 //! bp list benchmarks            list the 80 synthetic benchmarks
-//! bp list predictors            list the registered configurations
+//! bp list predictors            same as `bp list`
 //! bp generate <bench> <instr> <file> [--v1]
 //!                               generate a benchmark trace to disk
 //!                               (format v2 streamed in O(1) memory by
@@ -18,11 +21,21 @@
 //!                               the full (predictor × benchmark) grid on
 //!                               the parallel engine
 //! bp report <suite> [--jobs N] [--instr N] [--warmup N] [--json]
-//!           [--family F] [--predictors a,b,c] [--out-dir D]
+//!           [--family F] [--predictors a,b,c] [--config FILE]
+//!           [--out-dir D]
 //!                               attributed grid run emitting the
 //!                               deterministic paper-style report to
 //!                               REPORT_<suite>.md / REPORT_<suite>.json
 //!                               (suites: cbp4, cbp3, paper)
+//! bp sweep <suite> [--budgets 8,16,...] [--families a,b,c]
+//!          [--config FILE] [--jobs N] [--instr N] [--json]
+//!          [--out-dir D] [--quick]
+//!                               storage-budget sweep: solve each
+//!                               family for each Kbit budget (within
+//!                               2% exact storage), run the fused
+//!                               (config × benchmark) grid, and emit
+//!                               the deterministic SWEEP_<suite>.md /
+//!                               SWEEP_<suite>.json artifacts
 //! bp bench [--quick] [--instr N] [--out FILE]
 //!                               trace-I/O throughput benchmark (v1 vs v2
 //!                               write/read/simulate); emits
@@ -37,9 +50,10 @@
 use imli_repro::bench::sim_bench::{parse_predictor_throughputs, run_sim_bench};
 use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
 use imli_repro::sim::{
-    family_members, lookup, make_predictor, paper_report_predictors, registry, run_report,
-    simulate, simulate_stream, Engine, GridStrategy, MispredictionProfile, PredictorFamily,
-    PredictorSpec, TextTable,
+    family_members, lookup, make_predictor, paper_report_predictors, parse_predictor_file,
+    parse_sweep_file, registry, run_report, run_sweep, simulate, simulate_stream, Engine,
+    GridStrategy, MispredictionProfile, PredictorFamily, PredictorSpec, TextTable,
+    STANDARD_BUDGETS_KBIT, SWEEP_FAMILIES,
 };
 use imli_repro::trace::{read_trace, write_trace, Trace, TraceReader};
 use imli_repro::workloads::{
@@ -51,13 +65,15 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bp list (benchmarks|predictors)\n  bp generate <bench> <instr> <file> [--v1]\n  \
+        "usage:\n  bp list [benchmarks|predictors]\n  bp generate <bench> <instr> <file> [--v1]\n  \
          bp simulate <config> <bench-or-file> [instr]\n  bp profile <config> <bench> [instr] [top]\n  \
          bp compare <bench> [instr]\n  \
          bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c] \
-         [--strategy auto|cell|fused]\n  \
+         [--config FILE] [--strategy auto|cell|fused]\n  \
          bp report <suite> [--jobs N] [--instr N] [--warmup N] [--json] [--family F] \
-         [--predictors a,b,c] [--out-dir D]\n  \
+         [--predictors a,b,c] [--config FILE] [--out-dir D]\n  \
+         bp sweep <suite> [--budgets 8,16,...] [--families a,b,c] [--config FILE] [--jobs N] \
+         [--instr N] [--json] [--out-dir D] [--quick]\n  \
          bp bench [--quick] [--instr N] [--out FILE]\n  \
          bp bench --sim [--quick] [--instr N] [--out FILE] [--baseline FILE]"
     );
@@ -86,17 +102,28 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
             }
             Ok(())
         }
-        ["list", "predictors"] => {
-            let mut table =
-                TextTable::new(vec!["name", "family", "configuration", "Kbit", "paper"]);
+        // `bp list` and `bp list predictors` are the discoverability
+        // command: every registry name with its family, exact storage
+        // (the config-level accounting, equal to the built itemization),
+        // and paper reference.
+        ["list"] | ["list", "predictors"] => {
+            let mut table = TextTable::new(vec![
+                "name",
+                "family",
+                "configuration",
+                "Kbit",
+                "bits",
+                "paper",
+            ]);
             for spec in registry() {
                 let p = spec.make();
                 table.row(vec![
-                    spec.name.to_owned(),
+                    spec.name.clone(),
                     spec.family.to_string(),
                     p.name().to_owned(),
-                    format!("{:.0}", spec.storage_kbit()),
-                    spec.paper_ref.to_owned(),
+                    format!("{:.2}", spec.storage_kbit()),
+                    spec.storage_bits().to_string(),
+                    spec.paper_ref.clone(),
                 ]);
             }
             println!("{table}");
@@ -189,6 +216,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
         }
         ["grid", suite, ..] => run_grid(suite, &args[2..]),
         ["report", suite, ..] => run_report_cmd(suite, &args[2..]),
+        ["sweep", suite, ..] => run_sweep_cmd(suite, &args[2..]),
         ["bench", ..] => run_bench(&args[1..]),
         ["compare", bench] | ["compare", bench, _] => {
             let instructions = args
@@ -295,6 +323,16 @@ fn parse_sweep_flags(
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--config" => {
+                // A config file *replaces* the predictor set with
+                // custom configurations (same precedence as --family /
+                // --predictors: last flag wins).
+                let path = value("config file path")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                parsed.predictors =
+                    parse_predictor_file(&text).map_err(|e| format!("{path}: {e}"))?;
+            }
             "--strategy" if !report_flags => {
                 let v = value("strategy name")?;
                 parsed.strategy = match v.to_ascii_lowercase().as_str() {
@@ -364,7 +402,12 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
             .collect();
         means.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
         for (p, name, mean) in means {
-            let kbit = lookup(name).map_or(0.0, |s| s.storage_kbit());
+            // Resolve storage from the specs actually run (a --config
+            // file's custom names are not in the global registry).
+            let kbit = predictors
+                .iter()
+                .find(|s| s.name == name)
+                .map_or(0.0, PredictorSpec::storage_kbit);
             table.row(vec![
                 name.to_owned(),
                 format!("{mean:.3}"),
@@ -479,6 +522,169 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
             report.benchmarks.len(),
             instructions,
             warmup,
+            md_path.display(),
+            json_path.display(),
+        );
+    }
+    Ok(())
+}
+
+/// Parses and runs `bp sweep <suite> [--budgets 8,16,...]
+/// [--families a,b,c] [--config FILE] [--jobs N] [--instr N] [--json]
+/// [--out-dir D] [--quick]`: the storage-budget sweep.
+///
+/// For every (budget, family) pair the solver produces a configuration
+/// whose **exact** `storage_items()` total lands within 2% of the
+/// target; the solved configurations run as one fused grid (each
+/// benchmark stream decoded once for all of them) and the results are
+/// written as the byte-deterministic `SWEEP_<suite>.md` /
+/// `SWEEP_<suite>.json` artifacts. `--quick` is the CI smoke setting
+/// (the paper's 64/256-Kbit points at a small instruction budget).
+fn run_sweep_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
+    let benchmarks = suite_by_name(suite_name)
+        .ok_or_else(|| format!("unknown suite {suite_name} (try cbp4, cbp3, or paper)"))?;
+    let mut budgets: Vec<u64> = STANDARD_BUDGETS_KBIT.to_vec();
+    let mut budgets_explicit = false;
+    let mut families: Vec<String> = SWEEP_FAMILIES.iter().map(|&f| f.to_owned()).collect();
+    let mut jobs: Option<usize> = None;
+    let mut instructions: Option<u64> = None;
+    let mut json = false;
+    let mut quick = false;
+    let mut out_dir = ".".to_owned();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a {what}"))
+        };
+        match flag.as_str() {
+            "--budgets" => {
+                budgets = value("comma-separated Kbit list")?
+                    .split(',')
+                    .map(|b| parse_u64(b.trim(), "budget (Kbit)"))
+                    .collect::<Result<_, _>>()?;
+                budgets_explicit = true;
+            }
+            "--families" => {
+                families = value("comma-separated family list")?
+                    .split(',')
+                    .map(|f| f.trim().to_owned())
+                    .collect();
+            }
+            "--config" => {
+                let path = value("config file path")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let parsed = parse_sweep_file(&text).map_err(|e| format!("{path}: {e}"))?;
+                if let Some(b) = parsed.budgets_kbit {
+                    budgets = b;
+                    budgets_explicit = true;
+                }
+                if let Some(f) = parsed.families {
+                    families = f;
+                }
+            }
+            "--jobs" => {
+                let v = value("worker count")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad worker count: {v}"))?,
+                );
+            }
+            "--instr" => {
+                instructions = Some(parse_u64(value("instruction count")?, "instruction count")?);
+            }
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--out-dir" => out_dir = value("directory")?.to_owned(),
+            other => return Err(format!("unknown sweep flag {other}")),
+        }
+    }
+    if quick {
+        // The CI smoke shape: the paper's two headline budgets at a
+        // small instruction budget. Budgets set explicitly (via
+        // --budgets or a --config file) and explicit --instr win.
+        if !budgets_explicit {
+            budgets = vec![64, 256];
+        }
+        if instructions.is_none() {
+            instructions = Some(50_000);
+        }
+    }
+    let instructions = instructions.unwrap_or(500_000);
+    if budgets.is_empty() || families.is_empty() {
+        return Err("sweep needs at least one budget and one family".to_owned());
+    }
+
+    let engine_jobs = jobs.unwrap_or_else(|| Engine::new().jobs());
+    let show_progress = !json;
+    let started = std::time::Instant::now();
+    let report = run_sweep(
+        &suite_name.to_ascii_lowercase(),
+        &benchmarks,
+        &budgets,
+        &families,
+        instructions,
+        engine_jobs,
+        &|update| {
+            if show_progress {
+                eprint!(
+                    "\r[{}/{}] {} on {} ({:.3} MPKI)          ",
+                    update.completed, update.total, update.predictor, update.benchmark, update.mpki
+                );
+                let _ = std::io::stderr().flush();
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    if show_progress {
+        eprintln!();
+    }
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let stem = format!("SWEEP_{}", suite_name.to_ascii_lowercase());
+    let md_path = std::path::Path::new(&out_dir).join(format!("{stem}.md"));
+    let json_path = std::path::Path::new(&out_dir).join(format!("{stem}.json"));
+    let markdown = report.to_markdown();
+    let json_doc = report.to_json();
+    std::fs::write(&md_path, &markdown)
+        .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+    std::fs::write(&json_path, &json_doc)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+
+    if json {
+        print!("{json_doc}");
+    } else {
+        let mut table = TextTable::new(vec![
+            "config",
+            "target Kbit",
+            "actual Kbit",
+            "err %",
+            "mean MPKI",
+        ]);
+        for row in &report.rows {
+            table.row(vec![
+                format!("{}@{}", row.family, row.budget_kbit),
+                row.budget_kbit.to_string(),
+                format!("{:.2}", row.storage_bits as f64 / 1024.0),
+                format!("{:+.2}", row.budget_error() * 100.0),
+                format!("{:.3}", row.mean_mpki()),
+            ]);
+        }
+        println!(
+            "{} sweep: {} budgets x {} families x {} benchmarks at {} instructions, {} jobs, \
+             {:.2}s\n{table}wrote {} and {}",
+            suite_name,
+            report.budgets_kbit.len(),
+            report.families.len(),
+            report.benchmarks.len(),
+            instructions,
+            engine_jobs,
+            elapsed.as_secs_f64(),
             md_path.display(),
             json_path.display(),
         );

@@ -132,8 +132,8 @@ fn engine_grid_matches_sequential_suite_runs() {
     let benchmarks: Vec<BenchmarkSpec> = cbp4_suite().into_iter().take(4).collect();
     let grid = Engine::new().run_grid(&predictors, &benchmarks, 40_000);
     for spec in &predictors {
-        let suite = imli_repro::sim::run_suite(&spec.factory, &benchmarks, 40_000);
-        let row = grid.suite_result(spec.name).expect("row exists");
+        let suite = imli_repro::sim::run_suite(&|| spec.make(), &benchmarks, 40_000);
+        let row = grid.suite_result(&spec.name).expect("row exists");
         assert_eq!(suite.rows, row.rows, "{}", spec.name);
     }
 }
