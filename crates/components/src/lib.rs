@@ -35,6 +35,7 @@ mod config;
 mod counter;
 mod gshare;
 mod hash;
+mod kernel;
 mod loop_pred;
 mod predictor;
 mod sum;
@@ -49,7 +50,8 @@ pub use config::{
 pub use counter::SaturatingCounter;
 pub use gshare::GShare;
 pub use hash::{fold_u64, mix64, pc_bits};
+pub use kernel::{prefetch_read, sum_centered, sum_centered_padded, sum_i8, sum_i8_reference};
 pub use loop_pred::{LoopPrediction, LoopPredictor, LoopPredictorConfig};
 pub use predictor::{AlwaysTaken, ConditionalPredictor, PredictorStats};
-pub use sum::{SignedCounterTable, SumComponent, SumCtx};
+pub use sum::{CounterBank, SignedCounterTable, SumComponent, SumCtx};
 pub use threshold::AdaptiveThreshold;

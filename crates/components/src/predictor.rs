@@ -27,6 +27,34 @@ pub trait ConditionalPredictor: StorageBudget {
     /// Predicts the direction of the conditional branch at `pc`.
     fn predict(&mut self, pc: u64) -> bool;
 
+    /// Hints that the branch at `pc` is about to be predicted, so the
+    /// predictor may prefetch the table rows its lookup will touch.
+    ///
+    /// This is the simulator's one-branch lookahead hook: it is called
+    /// with the *next* record's PC before the current record is
+    /// processed, i.e. under history that is stale by one branch.
+    /// Implementations must treat it as a pure hint — reads of
+    /// predictor state and cache prefetches only, never a state
+    /// change — so that issuing, skipping, or mis-targeting it is
+    /// invisible in the predicted stream (the determinism contract the
+    /// fused==per-cell tests enforce). The default does nothing.
+    fn prefetch(&self, pc: u64) {
+        let _ = pc;
+    }
+
+    /// Whether the simulator's one-branch lookahead should call
+    /// [`prefetch`](ConditionalPredictor::prefetch) at all. The peek +
+    /// virtual dispatch + prefetch instructions cost a few nanoseconds
+    /// per record, which is a measurable *regression* for predictors
+    /// whose whole working set is L1-resident (bimodal, gshare, the
+    /// small neural hosts) — so the default is `false`, and only
+    /// predictors whose hinted rows actually live beyond L1 opt in.
+    /// Purely a performance capability flag: answering `true` or
+    /// `false` cannot change any prediction.
+    fn wants_prefetch(&self) -> bool {
+        false
+    }
+
     /// Predicts like [`predict`](ConditionalPredictor::predict) and also
     /// reports *which component provided* the prediction.
     ///
@@ -50,8 +78,64 @@ pub trait ConditionalPredictor: StorageBudget {
         let _ = record;
     }
 
+    /// Drives this predictor through a block of records with the CBP
+    /// protocol (predict/update conditionals, notify the rest),
+    /// accumulating outcomes into `stats` — including the one-record
+    /// lookahead [`prefetch`](ConditionalPredictor::prefetch) hint for
+    /// predictors that opt in via
+    /// [`wants_prefetch`](ConditionalPredictor::wants_prefetch).
+    ///
+    /// A provided method rather than a simulator-side loop so that each
+    /// concrete predictor gets a *monomorphized* copy: when the
+    /// simulator drives a `Box<dyn ConditionalPredictor>`, the loop
+    /// body's `predict`/`update`/`notify_nonconditional` calls dispatch
+    /// statically (and inline) inside the predictor's own copy, costing
+    /// one virtual call per **block** instead of three per **record**.
+    /// Implementations must not override this with anything but the
+    /// identical protocol — the fused==per-cell and prefetch
+    /// equivalence tests pin the semantics.
+    fn run_block(&mut self, block: &[BranchRecord], stats: &mut PredictorStats) {
+        if self.wants_prefetch() {
+            for (i, record) in block.iter().enumerate() {
+                // Peek one record ahead and hint its lookup rows so the
+                // loads overlap the current record's work. Stale-by-one
+                // history is fine: `prefetch` is architecturally a
+                // no-op, so results stay bit-identical either way.
+                if let Some(peek) = block.get(i + 1) {
+                    if peek.is_conditional() {
+                        self.prefetch(peek.pc);
+                    }
+                }
+                step_record(self, record, stats);
+            }
+        } else {
+            for record in block {
+                step_record(self, record, stats);
+            }
+        }
+    }
+
     /// A short human-readable configuration name, e.g. `"TAGE-GSC+IMLI"`.
     fn name(&self) -> &str;
+}
+
+/// One CBP-protocol step: predict/update a conditional record, notify a
+/// non-conditional one. Shared by the provided
+/// [`ConditionalPredictor::run_block`] so the per-record protocol cannot
+/// drift between the prefetching and plain loops.
+#[inline]
+fn step_record<P: ConditionalPredictor + ?Sized>(
+    predictor: &mut P,
+    record: &BranchRecord,
+    stats: &mut PredictorStats,
+) {
+    if record.is_conditional() {
+        let pred = predictor.predict(record.pc);
+        stats.record(pred == record.taken);
+        predictor.update(record);
+    } else {
+        predictor.notify_nonconditional(record);
+    }
 }
 
 /// Boxed predictors forward the whole protocol, so composed predictors
@@ -65,6 +149,14 @@ impl ConditionalPredictor for Box<dyn ConditionalPredictor + Send> {
         (**self).predict(pc)
     }
 
+    fn prefetch(&self, pc: u64) {
+        (**self).prefetch(pc)
+    }
+
+    fn wants_prefetch(&self) -> bool {
+        (**self).wants_prefetch()
+    }
+
     fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
         (**self).predict_attributed(pc)
     }
@@ -75,6 +167,10 @@ impl ConditionalPredictor for Box<dyn ConditionalPredictor + Send> {
 
     fn notify_nonconditional(&mut self, record: &BranchRecord) {
         (**self).notify_nonconditional(record)
+    }
+
+    fn run_block(&mut self, block: &[BranchRecord], stats: &mut PredictorStats) {
+        (**self).run_block(block, stats)
     }
 
     fn name(&self) -> &str {

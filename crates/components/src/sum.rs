@@ -124,6 +124,156 @@ impl SignedCounterTable {
     }
 }
 
+/// Several same-geometry counter tables in **one** contiguous
+/// allocation: table `t`, entry `j` lives at `(t << log_entries) | j`.
+///
+/// This is the neural-host twin of the flattened TAGE bank: GEHL, the
+/// hashed perceptron, and the statistical corrector read one counter
+/// from each of their tables per prediction, and a single backing
+/// allocation keeps those mutually independent probes on the same
+/// cache-friendly base pointer (and gives the two-phase
+/// index/prefetch/gather hot path one slice to prefetch into).
+///
+/// ```
+/// use bp_components::CounterBank;
+/// let mut b = CounterBank::new(4, 128, 6);
+/// b.train(2, 9, true);
+/// assert!(b.read(2, 9) > 0);
+/// assert_eq!(b.read(3, 9), 1); // untrained entry contributes +1
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterBank {
+    counters: Vec<SaturatingCounter>,
+    log_entries: u32,
+    mask: u64,
+    bits: u8,
+}
+
+impl CounterBank {
+    /// Creates `tables` tables of `entries` counters of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `tables` is zero, or
+    /// `bits` is outside `1..=7`.
+    pub fn new(tables: usize, entries: usize, bits: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        assert!(tables > 0, "need at least one table");
+        CounterBank {
+            counters: vec![SaturatingCounter::new(bits); tables * entries],
+            log_entries: entries.trailing_zeros(),
+            mask: entries as u64 - 1,
+            bits: bits as u8,
+        }
+    }
+
+    /// Number of tables.
+    pub fn tables(&self) -> usize {
+        self.counters.len() >> self.log_entries
+    }
+
+    /// Entries per table.
+    pub fn entries(&self) -> usize {
+        1 << self.log_entries
+    }
+
+    #[inline]
+    fn slot(&self, table: usize, index: u64) -> usize {
+        (table << self.log_entries) | (index & self.mask) as usize
+    }
+
+    /// Raw value of the selected counter.
+    #[inline]
+    pub fn value(&self, table: usize, index: u64) -> i8 {
+        self.counters[self.slot(table, index)].value()
+    }
+
+    /// Centered read: `2c + 1` for the counter selected by `index` in
+    /// table `table` — identical semantics to
+    /// [`SignedCounterTable::read`].
+    #[inline]
+    pub fn read(&self, table: usize, index: u64) -> i32 {
+        2 * i32::from(self.value(table, index)) + 1
+    }
+
+    /// Trains the selected counter toward `taken`.
+    #[inline]
+    pub fn train(&mut self, table: usize, index: u64, taken: bool) {
+        let slot = self.slot(table, index);
+        self.counters[slot].train(taken);
+    }
+
+    /// Gathers one counter value per table: `out[t]` becomes the raw
+    /// value of table `t` at `indices[t]`, for the leading
+    /// `indices.len()` tables.
+    ///
+    /// This is the gather phase of the two-phase hot path in one place:
+    /// a single up-front bounds assertion covers the whole batch, so
+    /// the per-row loop is pure address math and loads — no per-row
+    /// bounds checks, which per-table [`CounterBank::value`] calls pay
+    /// once each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` names more tables than the bank has or the
+    /// lengths of `indices` and `out` differ.
+    #[inline]
+    pub fn gather(&self, indices: &[u64], out: &mut [i8]) {
+        assert!(
+            indices.len() <= self.tables() && indices.len() == out.len(),
+            "gather of {} rows from a {}-table bank into {} slots",
+            indices.len(),
+            self.tables(),
+            out.len()
+        );
+        for (t, (&index, out)) in indices.iter().zip(out.iter_mut()).enumerate() {
+            let slot = (t << self.log_entries) | (index & self.mask) as usize;
+            // SAFETY: `t < tables()` by the assertion above and the
+            // masked index is `< entries()`, so `slot < counters.len()`.
+            *out = unsafe { self.counters.get_unchecked(slot) }.value();
+        }
+    }
+
+    /// Trains one counter per table toward `taken`: table `t` at
+    /// `indices[t]`, for the leading `indices.len()` tables — the
+    /// batched twin of [`CounterBank::gather`] for the update path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` names more tables than the bank has.
+    #[inline]
+    pub fn train_all(&mut self, indices: &[u64], taken: bool) {
+        assert!(
+            indices.len() <= self.tables(),
+            "train of {} rows in a {}-table bank",
+            indices.len(),
+            self.tables()
+        );
+        for (t, &index) in indices.iter().enumerate() {
+            let slot = (t << self.log_entries) | (index & self.mask) as usize;
+            // SAFETY: as in [`CounterBank::gather`].
+            unsafe { self.counters.get_unchecked_mut(slot) }.train(taken);
+        }
+    }
+
+    /// Issues a read prefetch for the selected row (a pure hint; see
+    /// [`crate::prefetch_read`]).
+    #[inline]
+    pub fn prefetch(&self, table: usize, index: u64) {
+        crate::prefetch_read(&self.counters, self.slot(table, index));
+    }
+
+    /// Storage in bits of one table.
+    pub fn table_storage_bits(&self) -> u64 {
+        (self.entries() as u64) * u64::from(self.bits)
+    }
+
+    /// Storage in bits of the whole bank.
+    pub fn storage_bits(&self) -> u64 {
+        self.counters.len() as u64 * u64::from(self.bits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +313,43 @@ mod tests {
         let ctx = SumCtx::default();
         assert_eq!(ctx.imli_count, 0);
         assert!(!ctx.oh_same && !ctx.oh_prev);
+    }
+
+    #[test]
+    fn bank_matches_separate_tables() {
+        // A CounterBank must behave exactly like a vector of
+        // independently trained SignedCounterTables.
+        let mut bank = CounterBank::new(3, 64, 5);
+        let mut tables: Vec<SignedCounterTable> =
+            (0..3).map(|_| SignedCounterTable::new(64, 5)).collect();
+        let mut x = 0xACE1u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = (x % 3) as usize;
+            let idx = (x >> 8) & 0xFFFF;
+            let taken = x & 1 == 1;
+            assert_eq!(bank.read(t, idx), tables[t].read(idx));
+            assert_eq!(i32::from(bank.value(t, idx)), (tables[t].read(idx) - 1) / 2);
+            bank.prefetch(t, idx);
+            bank.train(t, idx, taken);
+            tables[t].train(idx, taken);
+        }
+    }
+
+    #[test]
+    fn bank_geometry_and_storage() {
+        let b = CounterBank::new(17, 2048, 6);
+        assert_eq!(b.tables(), 17);
+        assert_eq!(b.entries(), 2048);
+        assert_eq!(b.table_storage_bits(), 2048 * 6);
+        assert_eq!(b.storage_bits(), 17 * 2048 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn bank_rejects_zero_tables() {
+        let _ = CounterBank::new(0, 64, 6);
     }
 }

@@ -1,9 +1,9 @@
 //! The GEHL predictor (Seznec 2005), with IMLI and FTL extensions.
 
 use bp_components::{
-    mix64, pc_bits, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket, ConfigError,
-    ConfigValue, LoopPredictor, LoopPredictorConfig, PredictionAttribution, PredictorConfig,
-    ProviderComponent, SignedCounterTable, StorageBudget, StorageItem, SumCtx,
+    mix64, pc_bits, sum_centered_padded, AdaptiveThreshold, ConditionalPredictor, ConfidenceBucket,
+    ConfigError, ConfigValue, CounterBank, LoopPredictor, LoopPredictorConfig,
+    PredictionAttribution, PredictorConfig, ProviderComponent, StorageBudget, StorageItem, SumCtx,
 };
 use bp_history::{HistoryState, LocalHistoryTable};
 use bp_trace::BranchRecord;
@@ -165,8 +165,8 @@ impl GehlConfig {
             if !(1..=32).contains(&width) {
                 return Err("local width out of range".into());
             }
-            if tables < 1 {
-                return Err("need at least one local table".into());
+            if !(1..=64).contains(&tables) {
+                return Err("local table count must be in 1..=64".into());
             }
         }
         if let Some(lp) = &self.loop_predictor {
@@ -284,12 +284,17 @@ impl PredictorConfig for GehlConfig {
     }
 }
 
+/// Upper bound on GEHL addends: up to 64 global tables plus up to 64
+/// local tables (both enforced by [`GehlConfig::check`]). Sized so the
+/// per-prediction index and value buffers can live on the stack.
+const GEHL_MAX_ADDENDS: usize = 64 + 64;
+
 /// The GEHL predictor: a pure adder-tree of geometrically-indexed
 /// tables; optionally extended with IMLI components (paper Figure 6)
 /// and/or a local component + loop predictor (FTL).
 pub struct Gehl {
     config: GehlConfig,
-    tables: Vec<SignedCounterTable>,
+    tables: CounterBank,
     folds: Vec<Option<usize>>,
     /// Per-table `history_length(i)` hoisted out of the per-branch
     /// index loops: the geometric series involves a `powf`, and the
@@ -298,11 +303,16 @@ pub struct Gehl {
     hist_lens: Vec<u64>,
     history: HistoryState,
     local_history: Option<LocalHistoryTable>,
-    local_tables: Vec<SignedCounterTable>,
+    local_tables: Option<CounterBank>,
     imli: Option<ImliState>,
     loop_pred: Option<LoopPredictor>,
     threshold: AdaptiveThreshold,
     lookup: Option<(SumCtx, i32, bool)>,
+    /// Table indices computed by the index phase of [`Gehl::predict_full`]
+    /// (globals first, then locals). `update` reuses them instead of
+    /// recomputing: history only advances at the *end* of `update`, so
+    /// the paired predict/update pair sees identical indices.
+    indices: [u64; GEHL_MAX_ADDENDS],
     last_pred: bool,
 }
 
@@ -325,24 +335,21 @@ impl Gehl {
         }
         let entries = 1usize << config.log_entries;
         Gehl {
-            tables: (0..config.num_tables)
-                .map(|_| SignedCounterTable::new(entries, config.counter_bits))
-                .collect(),
+            tables: CounterBank::new(config.num_tables, entries, config.counter_bits),
             folds,
             hist_lens,
             history,
             local_history: config
                 .local
                 .map(|(width, _)| LocalHistoryTable::new(256, width)),
-            local_tables: config.local.map_or_else(Vec::new, |(_, tables)| {
-                (0..tables)
-                    .map(|_| SignedCounterTable::new(entries, config.counter_bits))
-                    .collect()
-            }),
+            local_tables: config
+                .local
+                .map(|(_, tables)| CounterBank::new(tables, entries, config.counter_bits)),
             imli: config.imli.as_ref().map(ImliState::new),
             loop_pred: config.loop_predictor.map(LoopPredictor::new),
             threshold: AdaptiveThreshold::new(config.threshold_init, config.threshold_max),
             lookup: None,
+            indices: [0; GEHL_MAX_ADDENDS],
             last_pred: false,
             config,
         }
@@ -383,22 +390,11 @@ impl Gehl {
 
     /// Storage breakdown: (component, bits).
     pub fn budget_breakdown(&self) -> Vec<(String, u64)> {
-        let mut parts = vec![(
-            "gehl-global".to_owned(),
-            self.tables
-                .iter()
-                .map(SignedCounterTable::storage_bits)
-                .sum(),
-        )];
-        if !self.local_tables.is_empty() {
-            let local_bits: u64 = self
-                .local_tables
-                .iter()
-                .map(SignedCounterTable::storage_bits)
-                .sum();
+        let mut parts = vec![("gehl-global".to_owned(), self.tables.storage_bits())];
+        if let Some(local) = &self.local_tables {
             parts.push((
                 "gehl-local".to_owned(),
-                local_bits
+                local.storage_bits()
                     + self
                         .local_history
                         .as_ref()
@@ -434,13 +430,33 @@ impl Gehl {
             imli.fill_ctx(&mut ctx);
         }
 
-        let mut sum = 0i32;
-        for i in 0..self.tables.len() {
-            sum += self.tables[i].read(self.table_index(i, pc, ctx.imli_count));
+        // Fused index+gather pass per bank: compute each table's index
+        // (mixing and fold reads), stash it for verbatim reuse by
+        // [`ConditionalPredictor::update`], and pull the raw counter
+        // into a flat `i8` buffer in the same loop — at GEHL's table
+        // counts, separate index/gather passes cost more in
+        // store-to-load round trips through the stash than their extra
+        // scheduling freedom recovers. Only the reduction is split out,
+        // so it runs through the vector-friendly kernel.
+        let n_global = self.tables.tables();
+        let mut values = [0i8; GEHL_MAX_ADDENDS];
+        for (i, value) in values[..n_global].iter_mut().enumerate() {
+            let idx = self.table_index(i, pc, ctx.imli_count);
+            self.indices[i] = idx;
+            *value = self.tables.value(i, idx);
         }
-        for i in 0..self.local_tables.len() {
-            sum += self.local_tables[i].read(self.local_index(i, pc, ctx.local_history));
+        let n_local = self.local_tables.as_ref().map_or(0, CounterBank::tables);
+        if let Some(local) = &self.local_tables {
+            for (i, value) in values[n_global..n_global + n_local].iter_mut().enumerate() {
+                let idx = self.local_index(i, pc, ctx.local_history);
+                self.indices[n_global + i] = idx;
+                *value = local.value(i, idx);
+            }
         }
+
+        // Reduce: Σ (2c+1) over the gathered counters, exactly the sum
+        // the per-table `read` loop used to accumulate.
+        let mut sum = sum_centered_padded(&values, n_global + n_local);
         if let Some(imli) = &self.imli {
             sum += imli.read(&ctx);
         }
@@ -493,13 +509,14 @@ impl ConditionalPredictor for Gehl {
         }
 
         if self.threshold.should_update(sum_abs, neural_mispredicted) {
-            for i in 0..self.tables.len() {
-                let idx = self.table_index(i, record.pc, ctx.imli_count);
-                self.tables[i].train(idx, taken);
-            }
-            for i in 0..self.local_tables.len() {
-                let idx = self.local_index(i, record.pc, ctx.local_history);
-                self.local_tables[i].train(idx, taken);
+            // Train through the indices stashed by the paired predict:
+            // history has not advanced since, so they are the rows the
+            // prediction actually read.
+            let n_global = self.tables.tables();
+            self.tables.train_all(&self.indices[..n_global], taken);
+            if let Some(local) = &mut self.local_tables {
+                let n_local = local.tables();
+                local.train_all(&self.indices[n_global..n_global + n_local], taken);
             }
             if let Some(imli) = &mut self.imli {
                 imli.train(&ctx, taken);
@@ -523,6 +540,18 @@ impl ConditionalPredictor for Gehl {
         self.history.push_path_only(record.pc);
     }
 
+    fn prefetch(&self, pc: u64) {
+        // Pure hint, issued one branch ahead by the simulator. Table 0
+        // is PC-indexed so its row is exact; the history-indexed rows
+        // all live in an L1/L2-resident ~26 KB bank where extra
+        // prefetches were measured as pure overhead, so only the exact
+        // row (and the loop predictor's) are requested.
+        self.tables.prefetch(0, self.table_index(0, pc, 0));
+        if let Some(lp) = &self.loop_pred {
+            lp.prefetch(pc);
+        }
+    }
+
     fn name(&self) -> &str {
         &self.config.name
     }
@@ -530,17 +559,21 @@ impl ConditionalPredictor for Gehl {
 
 impl StorageBudget for Gehl {
     fn storage_items(&self) -> Vec<StorageItem> {
-        let mut items: Vec<StorageItem> = self
-            .tables
-            .iter()
-            .enumerate()
-            .map(|(i, t)| StorageItem::new(format!("gehl/global[{i}]"), t.storage_bits()))
+        let mut items: Vec<StorageItem> = (0..self.tables.tables())
+            .map(|i| {
+                StorageItem::new(
+                    format!("gehl/global[{i}]"),
+                    self.tables.table_storage_bits(),
+                )
+            })
             .collect();
-        for (i, t) in self.local_tables.iter().enumerate() {
-            items.push(StorageItem::new(
-                format!("gehl/local[{i}]"),
-                t.storage_bits(),
-            ));
+        if let Some(local) = &self.local_tables {
+            for i in 0..local.tables() {
+                items.push(StorageItem::new(
+                    format!("gehl/local[{i}]"),
+                    local.table_storage_bits(),
+                ));
+            }
         }
         if let Some(lh) = &self.local_history {
             items.push(StorageItem::new("gehl/local-history", lh.storage_bits()));

@@ -51,7 +51,7 @@ pub use report::{
     run_report, simulate_stream_attributed, simulate_stream_attributed_multi, AttributedRun,
     AttributionSummary, ComponentTally, PhaseSummary, ReportRow, SuiteReport,
 };
-pub use run::{simulate, simulate_stream, simulate_stream_multi, Mpki, SimResult};
+pub use run::{drive_block, simulate, simulate_stream, simulate_stream_multi, Mpki, SimResult};
 pub use speculative::{speculative_imli_fidelity, SpeculationReport};
 pub use suite::{run_suite, SuiteComparison, SuiteMismatchError, SuiteResult};
 pub use sweep::{

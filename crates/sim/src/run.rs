@@ -92,10 +92,25 @@ impl fmt::Display for Mpki {
 /// The predictor is *not* reset — callers wanting cold-start behaviour
 /// construct a fresh predictor per trace (as [`crate::run_suite`] does).
 ///
-/// Thin wrapper over [`simulate_stream`] for callers that already hold a
-/// materialized [`Trace`].
+/// Drives the materialized record slice directly through
+/// [`drive_block`] — the same CBP protocol and one-record lookahead as
+/// [`simulate_stream`], minus the per-record stream-cursor overhead,
+/// and bit-identical to it on the equivalent stream (the lookahead
+/// peek is `block[i + 1]` either way).
 pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
-    simulate_stream(predictor, trace.stream())
+    let records = trace.records();
+    let mut stats = PredictorStats::default();
+    drive_block(predictor, records, &mut stats);
+    SimResult {
+        benchmark: trace.name().to_owned(),
+        predictor: predictor.name().to_owned(),
+        instructions: records
+            .iter()
+            .map(bp_trace::BranchRecord::instructions)
+            .sum(),
+        records: records.len() as u64,
+        stats,
+    }
 }
 
 /// Simulates `predictor` over any [`BranchStream`] with the CBP
@@ -115,15 +130,45 @@ where
     let mut stats = PredictorStats::default();
     let mut instructions = 0u64;
     let mut records = 0u64;
-    while let Some(record) = stream.next_record() {
-        instructions += record.instructions();
-        records += 1;
-        if record.is_conditional() {
-            let pred = predictor.predict(record.pc);
-            stats.record(pred == record.taken);
-            predictor.update(&record);
-        } else {
-            predictor.notify_nonconditional(&record);
+    // One-record lookahead (only for predictors that opt in via
+    // `wants_prefetch` — the peek plus virtual dispatch is a measurable
+    // cost on the tiny L1-resident predictors): peek the next record
+    // and issue the predictor's prefetch hint for it *before* doing the
+    // current record's work, so the hinted table rows load in the
+    // shadow of a full predict/update. The hint uses history that is
+    // stale by one branch — fine, because
+    // [`ConditionalPredictor::prefetch`] is architecturally a no-op and
+    // results stay bit-identical either way.
+    if predictor.wants_prefetch() {
+        let mut next = stream.next_record();
+        while let Some(record) = next {
+            next = stream.next_record();
+            if let Some(peek) = &next {
+                if peek.is_conditional() {
+                    predictor.prefetch(peek.pc);
+                }
+            }
+            instructions += record.instructions();
+            records += 1;
+            if record.is_conditional() {
+                let pred = predictor.predict(record.pc);
+                stats.record(pred == record.taken);
+                predictor.update(&record);
+            } else {
+                predictor.notify_nonconditional(&record);
+            }
+        }
+    } else {
+        while let Some(record) = stream.next_record() {
+            instructions += record.instructions();
+            records += 1;
+            if record.is_conditional() {
+                let pred = predictor.predict(record.pc);
+                stats.record(pred == record.taken);
+                predictor.update(&record);
+            } else {
+                predictor.notify_nonconditional(&record);
+            }
         }
     }
     SimResult {
@@ -165,6 +210,26 @@ pub(crate) fn fill_multi_block<S: BranchStream>(
     }
 }
 
+/// Drives one predictor through one block of records with the CBP
+/// protocol, including the one-record lookahead prefetch hint for
+/// predictors that opt in (see [`simulate_stream`]). Shared by the
+/// fused sweep and the hot-path allocation tests so the steady-state
+/// loop they exercise is the one that actually runs.
+///
+/// Delegates to [`ConditionalPredictor::run_block`]: the loop lives as
+/// a provided trait method so every concrete predictor carries a
+/// monomorphized copy with `predict`/`update` statically dispatched —
+/// driving a `Box<dyn ConditionalPredictor>` costs one virtual call
+/// per block here instead of three per record.
+#[inline]
+pub fn drive_block<P: ConditionalPredictor + ?Sized>(
+    predictor: &mut P,
+    block: &[bp_trace::BranchRecord],
+    stats: &mut PredictorStats,
+) {
+    predictor.run_block(block, stats);
+}
+
 /// Simulates *several* predictors over **one** pass of a
 /// [`BranchStream`] with the CBP protocol — the shared-decode core of
 /// the engine's fused column mode.
@@ -201,15 +266,7 @@ where
             break;
         }
         for (predictor, stats) in predictors.iter_mut().zip(stats.iter_mut()) {
-            for record in &block {
-                if record.is_conditional() {
-                    let pred = predictor.predict(record.pc);
-                    stats.record(pred == record.taken);
-                    predictor.update(record);
-                } else {
-                    predictor.notify_nonconditional(record);
-                }
-            }
+            drive_block(predictor, &block, stats);
         }
         if block.len() < MULTI_BLOCK_RECORDS {
             break;

@@ -304,6 +304,21 @@ impl ConditionalPredictor for TageSc {
         self.predict_full(pc).0
     }
 
+    fn prefetch(&self, pc: u64) {
+        self.tage.prefetch(pc);
+        self.sc.prefetch(pc, self.last_pred);
+        if let Some(lp) = &self.loop_pred {
+            lp.prefetch(pc);
+        }
+    }
+
+    // The composed predictor's tables (~90 KB with the corrector) are
+    // the one working set in the registry that overflows L1, so the
+    // lookahead hint is worth its dispatch cost here.
+    fn wants_prefetch(&self) -> bool {
+        true
+    }
+
     fn predict_attributed(&mut self, pc: u64) -> (bool, PredictionAttribution) {
         self.predict_full(pc)
     }

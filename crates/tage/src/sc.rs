@@ -8,8 +8,8 @@
 //! or when the sum's magnitude falls below an adaptive threshold.
 
 use bp_components::{
-    mix64, pc_bits, AdaptiveThreshold, ConfigError, ConfigValue, SignedCounterTable, StorageItem,
-    SumCtx,
+    mix64, pc_bits, sum_centered_padded, AdaptiveThreshold, ConfigError, ConfigValue, CounterBank,
+    StorageItem, SumCtx,
 };
 use bp_history::LocalHistoryTable;
 use bp_trace::BranchRecord;
@@ -293,18 +293,46 @@ impl ScLookup {
     }
 }
 
+/// Capacity of the corrector's per-branch gather buffers: two bias rows
+/// plus at most 64 global and 64 local rows ([`ScConfig::check`] bounds
+/// both), so the buffers are fixed-size stack arrays.
+const SC_MAX_ADDENDS: usize = 2 + 64 + 64;
+
 /// The statistical corrector stage. See the module docs.
+///
+/// The counter storage is banked ([`CounterBank`]): both bias tables in
+/// one flat allocation, all global GEHL tables in another, all local
+/// tables in a third. [`StatisticalCorrector::predict`] runs in two
+/// phases over these banks — an *index phase* that computes every row
+/// address into a fixed-size buffer, then a *gather phase* that reads
+/// the selected counters into a flat `i8` buffer and reduces it with
+/// the vector-friendly [`sum_centered`] kernel. The phase split keeps
+/// the address math and the dependent row reads in separate loops, and
+/// the final reduction is a single fixed-stride kernel instead of a
+/// chain of per-table reads.
 #[derive(Debug, Clone)]
 pub struct StatisticalCorrector {
     config: ScConfig,
-    bias1: SignedCounterTable,
-    bias2: SignedCounterTable,
-    global_tables: Vec<SignedCounterTable>,
+    /// Table 0: the (pc, tage_pred) bias; table 1: the
+    /// (pc, tage_pred, conf) bias.
+    bias: CounterBank,
+    global_tables: CounterBank,
     local_history: Option<LocalHistoryTable>,
-    local_tables: Vec<SignedCounterTable>,
+    local_tables: Option<CounterBank>,
     imli: Option<ImliState>,
     threshold: AdaptiveThreshold,
     lookup: Option<ScLookup>,
+    /// Row addresses computed by the index phase of
+    /// [`StatisticalCorrector::predict`] (bias pair first, then
+    /// globals, then locals). `update` trains through these instead of
+    /// recomputing: history only advances after the paired
+    /// predict/update, so they are the rows the prediction read.
+    indices: [u64; SC_MAX_ADDENDS],
+    /// `(1 << global_lengths[i]) - 1` (saturating at 64 bits), hoisted
+    /// out of the per-branch index phase.
+    global_masks: Vec<u64>,
+    /// `(1 << local.lengths[i]) - 1`, ditto.
+    local_masks: Vec<u64>,
 }
 
 impl StatisticalCorrector {
@@ -317,26 +345,34 @@ impl StatisticalCorrector {
         config.validate();
         let cb = config.counter_bits;
         StatisticalCorrector {
-            bias1: SignedCounterTable::new(config.bias_entries, cb),
-            bias2: SignedCounterTable::new(config.bias_entries, cb),
-            global_tables: config
-                .global_lengths
-                .iter()
-                .map(|_| SignedCounterTable::new(config.table_entries, cb))
-                .collect(),
+            bias: CounterBank::new(2, config.bias_entries, cb),
+            global_tables: CounterBank::new(config.global_lengths.len(), config.table_entries, cb),
             local_history: config
                 .local
                 .as_ref()
                 .map(|l| LocalHistoryTable::new(l.history_entries, l.history_width)),
-            local_tables: config.local.as_ref().map_or_else(Vec::new, |l| {
-                l.lengths
-                    .iter()
-                    .map(|_| SignedCounterTable::new(l.table_entries, cb))
-                    .collect()
-            }),
+            local_tables: config
+                .local
+                .as_ref()
+                .map(|l| CounterBank::new(l.lengths.len(), l.table_entries, cb)),
             imli: config.imli.as_ref().map(ImliState::new),
             threshold: AdaptiveThreshold::new(config.threshold_init, config.threshold_max),
             lookup: None,
+            indices: [0; SC_MAX_ADDENDS],
+            global_masks: config
+                .global_lengths
+                .iter()
+                .map(|&len| {
+                    if len >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << len) - 1
+                    }
+                })
+                .collect(),
+            local_masks: config.local.as_ref().map_or_else(Vec::new, |l| {
+                l.lengths.iter().map(|&len| (1u64 << len) - 1).collect()
+            }),
             config,
         }
     }
@@ -353,8 +389,7 @@ impl StatisticalCorrector {
 
     #[inline]
     fn global_index(&self, i: usize, ctx: &SumCtx) -> u64 {
-        let len = self.config.global_lengths[i];
-        let hist = ctx.ghist & ((1u64 << len.min(63)) - 1).max(u64::from(len >= 64) * u64::MAX);
+        let hist = ctx.ghist & self.global_masks[i];
         let mut v = pc_bits(ctx.pc) ^ mix64(hist ^ ((i as u64 + 1) << 57)) ^ (ctx.path & 0xFF);
         if self.config.imli_in_global_indices && i < 2 {
             v ^= ImliSic::index(0, ctx.imli_count);
@@ -364,10 +399,19 @@ impl StatisticalCorrector {
 
     #[inline]
     fn local_index(&self, i: usize, ctx: &SumCtx) -> u64 {
-        let local = self.config.local.as_ref().expect("local tables configured");
-        let len = local.lengths[i];
-        let hist = u64::from(ctx.local_history) & ((1u64 << len) - 1);
+        let hist = u64::from(ctx.local_history) & self.local_masks[i];
         pc_bits(ctx.pc) ^ mix64(hist.rotate_left(i as u32 * 11) ^ ((i as u64 + 1) << 49))
+    }
+
+    /// Issues read prefetches for the corrector rows of `pc` that are
+    /// addressable from the PC alone (the two bias rows). A pure hint
+    /// for the simulator's one-branch lookahead; the history-indexed
+    /// rows are skipped because their addresses change with the
+    /// in-flight branch.
+    pub fn prefetch(&self, pc: u64, tage_pred: bool) {
+        self.bias
+            .prefetch(0, (pc_bits(pc) << 1) | u64::from(tage_pred));
+        self.bias.prefetch(1, pc_bits(pc) << 2);
     }
 
     /// Computes the corrector sum and prediction for `pc`.
@@ -375,6 +419,13 @@ impl StatisticalCorrector {
     /// `ghist`/`path` come from the host's history state; `tage_pred` and
     /// `tage_conf_low` from the TAGE lookup. The lookup is cached for the
     /// matching [`StatisticalCorrector::update`].
+    ///
+    /// Two-phase over the counter banks: the index phase fills a
+    /// fixed-size `(bank row, index)` buffer, the gather phase reads
+    /// every selected counter into a flat `i8` buffer, and the
+    /// [`sum_centered`] kernel reduces it. The kernel computes
+    /// `Σ(2c+1)` as `2·Σc + n` in exact i32 arithmetic, so the sum is
+    /// bit-identical to the per-table read chain it replaces.
     pub fn predict(
         &mut self,
         pc: u64,
@@ -398,17 +449,35 @@ impl StatisticalCorrector {
             imli.fill_ctx(&mut ctx);
         }
 
+        // Index phase: every row address, no table reads yet. The
+        // addresses are stashed on the struct so the paired `update`
+        // can train through them without recomputing.
+        let n_global = self.config.global_lengths.len();
+        self.indices[0] = (pc_bits(pc) << 1) | u64::from(tage_pred);
+        self.indices[1] =
+            (pc_bits(pc) << 2) | (u64::from(tage_pred) << 1) | u64::from(tage_conf_low);
+        for i in 0..n_global {
+            self.indices[2 + i] = self.global_index(i, &ctx);
+        }
+        let n_local = self.local_tables.as_ref().map_or(0, CounterBank::tables);
+        for i in 0..n_local {
+            self.indices[2 + n_global + i] = self.local_index(i, &ctx);
+        }
+
+        // Gather phase: read the selected counters into a flat buffer.
+        let mut values = [0i8; SC_MAX_ADDENDS];
+        self.bias.gather(&self.indices[..2], &mut values[..2]);
+        self.global_tables
+            .gather(&self.indices[2..2 + n_global], &mut values[2..2 + n_global]);
+        if let Some(local) = &self.local_tables {
+            local.gather(
+                &self.indices[2 + n_global..2 + n_global + n_local],
+                &mut values[2 + n_global..2 + n_global + n_local],
+            );
+        }
+
         let mut sum = self.config.tage_weight * (2 * i32::from(tage_pred) - 1);
-        sum += self.bias1.read((pc_bits(pc) << 1) | u64::from(tage_pred));
-        sum += self
-            .bias2
-            .read((pc_bits(pc) << 2) | (u64::from(tage_pred) << 1) | u64::from(tage_conf_low));
-        for i in 0..self.global_tables.len() {
-            sum += self.global_tables[i].read(self.global_index(i, &ctx));
-        }
-        for i in 0..self.local_tables.len() {
-            sum += self.local_tables[i].read(self.local_index(i, &ctx));
-        }
+        sum += sum_centered_padded(&values, 2 + n_global + n_local);
         if let Some(imli) = &self.imli {
             sum += imli.read(&ctx);
         }
@@ -434,21 +503,16 @@ impl StatisticalCorrector {
         let mispredicted = lookup.pred != taken;
         let sum_abs = lookup.sum.abs();
         if self.threshold.should_update(sum_abs, mispredicted) {
-            self.bias1
-                .train((pc_bits(ctx.pc) << 1) | u64::from(ctx.main_pred), taken);
-            self.bias2.train(
-                (pc_bits(ctx.pc) << 2)
-                    | (u64::from(ctx.main_pred) << 1)
-                    | u64::from(ctx.main_conf_low),
-                taken,
-            );
-            for i in 0..self.global_tables.len() {
-                let idx = self.global_index(i, &ctx);
-                self.global_tables[i].train(idx, taken);
-            }
-            for i in 0..self.local_tables.len() {
-                let idx = self.local_index(i, &ctx);
-                self.local_tables[i].train(idx, taken);
+            // Train through the indices stashed by the paired predict:
+            // history has not advanced since, so they are the rows the
+            // prediction actually read.
+            self.bias.train_all(&self.indices[..2], taken);
+            let n_global = self.global_tables.tables();
+            self.global_tables
+                .train_all(&self.indices[2..2 + n_global], taken);
+            if let Some(local) = &mut self.local_tables {
+                let n_local = local.tables();
+                local.train_all(&self.indices[2 + n_global..2 + n_global + n_local], taken);
             }
             if let Some(imli) = &mut self.imli {
                 imli.train(&ctx, taken);
@@ -485,14 +549,22 @@ impl StatisticalCorrector {
     /// histories, IMLI structures, and the adaptive-threshold registers.
     pub fn storage_items(&self) -> Vec<StorageItem> {
         let mut items = vec![
-            StorageItem::new("bias[0]", self.bias1.storage_bits()),
-            StorageItem::new("bias[1]", self.bias2.storage_bits()),
+            StorageItem::new("bias[0]", self.bias.table_storage_bits()),
+            StorageItem::new("bias[1]", self.bias.table_storage_bits()),
         ];
-        for (i, t) in self.global_tables.iter().enumerate() {
-            items.push(StorageItem::new(format!("global[{i}]"), t.storage_bits()));
+        for i in 0..self.global_tables.tables() {
+            items.push(StorageItem::new(
+                format!("global[{i}]"),
+                self.global_tables.table_storage_bits(),
+            ));
         }
-        for (i, t) in self.local_tables.iter().enumerate() {
-            items.push(StorageItem::new(format!("local[{i}]"), t.storage_bits()));
+        if let Some(local) = &self.local_tables {
+            for i in 0..local.tables() {
+                items.push(StorageItem::new(
+                    format!("local[{i}]"),
+                    local.table_storage_bits(),
+                ));
+            }
         }
         if let Some(lh) = &self.local_history {
             items.push(StorageItem::new("local-history", lh.storage_bits()));

@@ -1,7 +1,7 @@
 //! The TAGE predictor (Seznec & Michaud 2006; Seznec 2011).
 
 use bp_components::{
-    fold_u64, pc_bits, BimodalTable, ConfigError, ConfigValue, SaturatingCounter, StorageItem,
+    pc_bits, BimodalTable, ConfigError, ConfigValue, SaturatingCounter, StorageItem,
 };
 use bp_history::HistoryState;
 
@@ -388,29 +388,72 @@ impl Tage {
 
     /// The entry of tagged table `table` at `index` in the flattened
     /// row-major backing.
+    ///
+    /// Every `index` reaching here was produced by [`Tage::table_index`]
+    /// (directly or stashed in a [`TageLookup`]), which masks it to
+    /// `tagged_log_entries` bits, and every `table` is `< num_tables()`,
+    /// so `(table << log) | index < num_tables() << log == tables.len()`
+    /// always holds. The unchecked access removes a bounds check from
+    /// the probe loop of every lookup and from every update; the
+    /// invariant is re-asserted in debug builds.
     #[inline]
     fn entry(&self, table: usize, index: u32) -> &TaggedEntry {
-        &self.tables[(table << self.config.tagged_log_entries) | index as usize]
+        let slot = (table << self.config.tagged_log_entries) | index as usize;
+        debug_assert!(slot < self.tables.len());
+        // SAFETY: `slot < tables.len()` per the masked-index invariant
+        // documented above.
+        unsafe { self.tables.get_unchecked(slot) }
     }
 
     #[inline]
     fn entry_mut(&mut self, table: usize, index: u32) -> &mut TaggedEntry {
-        &mut self.tables[(table << self.config.tagged_log_entries) | index as usize]
+        let slot = (table << self.config.tagged_log_entries) | index as usize;
+        debug_assert!(slot < self.tables.len());
+        // SAFETY: as in [`Tage::entry`].
+        unsafe { self.tables.get_unchecked_mut(slot) }
     }
 
     /// `pcb`/`path` are `pc_bits(pc)` and the packed path history,
     /// hoisted out of the per-table loop by the caller.
+    ///
+    /// The path-history contribution is a two-term branchless fold plus
+    /// a remainder loop, bit-identical to
+    /// `fold_u64(masked_path.max(1), log.min(16))`: the generic fold
+    /// XORs successive `fold_bits`-wide slices until the residue is
+    /// zero, so unconditionally XORing the first two slices (extra
+    /// slices of a short value are zero, and the `.max(1)` argument is
+    /// nonzero so the generic loop always consumes slice zero) and then
+    /// looping over whatever remains above `2 * fold_bits` computes the
+    /// same value. For every registry configuration `masked_path` fits
+    /// in `path_bits = 16 <= 2 * fold_bits` bits, making the remainder
+    /// loop dead there — which is the point: the generic fold's
+    /// data-dependent trip count sat on the index phase of all 12
+    /// tables, and this form retires as straight-line XOR/shift.
+    /// Reference form pinned against the fused lookup loop by the
+    /// debug assertions in [`Tage::lookup`] and the fold-equivalence
+    /// test, hence unused in release builds.
+    #[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
     #[inline]
     fn table_index(&self, pcb: u64, path: u64, i: usize) -> u32 {
         let log = self.config.tagged_log_entries;
-        let masked_path = path & self.path_masks[i];
+        let fold_bits = log.min(16) as u32;
+        let fold_mask = low_mask(fold_bits as usize);
+        let x = (path & self.path_masks[i]).max(1);
+        let mut path_fold = (x & fold_mask) ^ ((x >> fold_bits) & fold_mask);
+        let mut rest = x >> (2 * fold_bits);
+        while rest != 0 {
+            path_fold ^= rest & fold_mask;
+            rest >>= fold_bits;
+        }
         let v = pcb
             ^ (pcb >> self.pc_shifts[i])
             ^ u64::from(self.history.fold(self.index_folds[i]))
-            ^ fold_u64(masked_path.max(1), log.min(16));
+            ^ path_fold;
         (v & low_mask(log)) as u32
     }
 
+    /// Reference form for the fused lookup loop's debug assertions.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     #[inline]
     fn table_tag(&self, pcb: u64, i: usize) -> u16 {
         let (f1, f2) = self.tag_folds[i];
@@ -418,18 +461,78 @@ impl Tage {
         (v as u16) & self.tag_masks[i]
     }
 
+    /// Issues a read prefetch for the one lookup row whose address is an
+    /// exact function of `pc` alone: the bimodal base row.
+    ///
+    /// A pure hint — reads and cache prefetches only, no state change —
+    /// so calling it one branch early (the simulator's lookahead) or not
+    /// at all cannot change any prediction. The tagged-bank rows are
+    /// deliberately *not* hinted: their addresses require the
+    /// folded-history index computation, and re-running that one branch
+    /// ahead was measured to cost more (~12 fold reads + mixes +
+    /// prefetch instructions per branch) than the L2-hit latency it
+    /// hides while the ~72 KB bank array stays cache-resident.
+    pub fn prefetch(&self, pc: u64) {
+        self.base.prefetch(pc);
+    }
+
     /// Performs the TAGE lookup for `pc` and returns the lookup record
     /// (also cached internally for the subsequent [`Tage::update`]).
     /// Allocation-free: the lookup is a `Copy` value.
+    ///
+    /// Two-phase: the *index phase* computes every bank's index and tag
+    /// in one tight loop (the iterations are mutually independent given
+    /// the current history, so they pipeline), and only then does the
+    /// *probe phase* walk the banks longest-history-first — with all
+    /// row addresses known up front, the bank reads issue and overlap
+    /// instead of serializing behind the match scan. Software prefetch
+    /// between the phases was measured and rejected here: with the
+    /// probe loads issuing nanoseconds later the prefetches were pure
+    /// overhead (~25% slower); the place where prefetching these rows
+    /// *does* pay is one branch early, via [`Tage::prefetch`].
     pub fn lookup(&mut self, pc: u64) -> TageLookup {
         let n = self.config.num_tables();
         let pcb = pc_bits(pc);
         let path = self.history.path();
         let mut indices = [0u32; MAX_TAGE_TABLES];
         let mut tags = [0u16; MAX_TAGE_TABLES];
+        // The index phase is [`Tage::table_index`]/[`Tage::table_tag`]
+        // fused into one zipped-iterator loop: per-table `Vec`/array
+        // indexing in those helpers costs ~8 bounds checks per table,
+        // and at 12 tables that overhead crowds the out-of-order window
+        // that should be filled with the probe loads of *neighbouring
+        // branches*. The debug assertion below pins the fused loop to
+        // the reference helpers term by term.
+        let log = self.config.tagged_log_entries;
+        let fold_bits = log.min(16) as u32;
+        let fold_mask = low_mask(fold_bits as usize);
+        let index_mask = low_mask(log);
+        let comps = self.history.folds();
+        for (((((index, tag), &fid), &(tf1, tf2)), &pc_shift), (&path_mask, &tag_mask)) in indices
+            [..n]
+            .iter_mut()
+            .zip(tags[..n].iter_mut())
+            .zip(&self.index_folds)
+            .zip(&self.tag_folds)
+            .zip(&self.pc_shifts[..n])
+            .zip(self.path_masks[..n].iter().zip(&self.tag_masks[..n]))
+        {
+            let x = (path & path_mask).max(1);
+            let mut path_fold = (x & fold_mask) ^ ((x >> fold_bits) & fold_mask);
+            let mut rest = x >> (2 * fold_bits);
+            while rest != 0 {
+                path_fold ^= rest & fold_mask;
+                rest >>= fold_bits;
+            }
+            let v = pcb ^ (pcb >> pc_shift) ^ u64::from(comps[fid]) ^ path_fold;
+            *index = (v & index_mask) as u32;
+            let t = pcb ^ u64::from(comps[tf1]) ^ (u64::from(comps[tf2]) << 1);
+            *tag = (t as u16) & tag_mask;
+        }
+        #[cfg(debug_assertions)]
         for i in 0..n {
-            indices[i] = self.table_index(pcb, path, i);
-            tags[i] = self.table_tag(pcb, i);
+            assert_eq!(indices[i], self.table_index(pcb, path, i));
+            assert_eq!(tags[i], self.table_tag(pcb, i));
         }
         let mut provider = None;
         let mut alt = None;
@@ -744,6 +847,47 @@ mod tests {
         });
         let acc = run_branch(&mut tage, 0x400, 500, |_| true);
         assert!(acc > 0.99, "64-bit path config accuracy {acc}");
+    }
+
+    #[test]
+    fn table_index_path_fold_matches_generic_fold() {
+        // `table_index` inlines the path-history fold as two
+        // unconditional terms plus a remainder loop; this pins it to
+        // the generic `fold_u64` it replaced, under a configuration
+        // (64-bit path, 4-bit fold width) where the remainder loop is
+        // actually live, and under the default registry geometry where
+        // it is dead.
+        for config in [
+            TageConfig::default(),
+            TageConfig {
+                path_bits: 64,
+                tagged_log_entries: 4,
+                base_log_entries: 4,
+                ..TageConfig::default()
+            },
+        ] {
+            let mut tage = Tage::new(config);
+            let mut pc = 0x9E37_79B9u64;
+            for step in 0..2048u64 {
+                pc = pc.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(13);
+                let pcb = pc_bits(pc);
+                let path = tage.history.path();
+                let log = tage.config.tagged_log_entries;
+                for i in 0..tage.config.num_tables() {
+                    let expected = (pcb
+                        ^ (pcb >> tage.pc_shifts[i])
+                        ^ u64::from(tage.history.fold(tage.index_folds[i]))
+                        ^ bp_components::fold_u64((path & tage.path_masks[i]).max(1), log.min(16)))
+                        & low_mask(log);
+                    assert_eq!(
+                        u64::from(tage.table_index(pcb, path, i)),
+                        expected,
+                        "table {i} at step {step}"
+                    );
+                }
+                tage.push_history(pc, step & 3 == 0);
+            }
+        }
     }
 
     #[test]

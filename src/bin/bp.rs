@@ -47,7 +47,9 @@
 //!                               grid wall time); emits BENCH_sim.json
 //! ```
 
-use imli_repro::bench::sim_bench::{parse_predictor_throughputs, run_sim_bench};
+use imli_repro::bench::sim_bench::{
+    parse_predictor_throughputs, run_sim_bench, throughput_regressions, DEFAULT_REPS,
+};
 use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
 use imli_repro::sim::{
     family_members, lookup, make_predictor, paper_report_predictors, parse_predictor_file,
@@ -705,6 +707,8 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
     let mut quick = false;
     let mut sim = false;
     let mut instr: Option<u64> = None;
+    let mut reps: Option<usize> = None;
+    let mut gate_pct: Option<f64> = None;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut it = flags.iter();
@@ -715,6 +719,24 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
             "--instr" => {
                 let v = it.next().ok_or("--instr needs an instruction count")?;
                 instr = Some(parse_u64(v, "instruction count")?);
+            }
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a repetition count")?;
+                reps = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad repetition count: {v}"))?,
+                );
+            }
+            "--gate-pct" => {
+                let v = it.next().ok_or("--gate-pct needs a percentage")?;
+                gate_pct = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|p| p.is_finite() && (0.0..100.0).contains(p))
+                        .ok_or_else(|| format!("bad gate percentage: {v}"))?,
+                );
             }
             "--out" => {
                 out_path = Some(it.next().ok_or("--out needs a file path")?.clone());
@@ -728,13 +750,18 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
     if quick && instr.is_some() {
         return Err("--quick and --instr are mutually exclusive".to_owned());
     }
-    if baseline_path.is_some() && !sim {
-        return Err("--baseline only applies to bench --sim".to_owned());
+    if (baseline_path.is_some() || reps.is_some()) && !sim {
+        return Err("--baseline and --reps only apply to bench --sim".to_owned());
+    }
+    if gate_pct.is_some() && baseline_path.is_none() {
+        return Err("--gate-pct needs a --baseline to gate against".to_owned());
     }
     if sim {
         return run_sim_bench_cmd(
             quick,
             instr,
+            reps.unwrap_or(DEFAULT_REPS),
+            gate_pct,
             out_path.unwrap_or_else(|| "BENCH_sim.json".to_owned()),
             baseline_path,
         );
@@ -790,6 +817,8 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
 fn run_sim_bench_cmd(
     quick: bool,
     instr: Option<u64>,
+    reps: usize,
+    gate_pct: Option<f64>,
     out_path: String,
     baseline_path: Option<String>,
 ) -> Result<(), String> {
@@ -811,7 +840,7 @@ fn run_sim_bench_cmd(
         None => Vec::new(),
     };
 
-    let report = run_sim_bench(instructions, grid_instructions, &baseline);
+    let report = run_sim_bench(instructions, grid_instructions, reps, &baseline);
     std::fs::write(&out_path, report.to_json())
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
@@ -819,7 +848,7 @@ fn run_sim_bench_cmd(
         .predictors
         .iter()
         .any(|p| p.baseline_records_per_sec.is_some());
-    let mut headers = vec!["config", "family", "Mrec/s"];
+    let mut headers = vec!["config", "family", "Mrec/s", "median ms", "p90 ms"];
     if with_baseline {
         headers.push("baseline Mrec/s");
         headers.push("speedup");
@@ -830,6 +859,8 @@ fn run_sim_bench_cmd(
             p.name.clone(),
             p.family.clone(),
             format!("{:.2}", p.records_per_sec / 1e6),
+            format!("{:.1}", p.stats.median_seconds * 1e3),
+            format!("{:.1}", p.stats.p90_seconds * 1e3),
         ];
         if with_baseline {
             row.push(
@@ -844,9 +875,17 @@ fn run_sim_bench_cmd(
         table.row(row);
     }
     println!(
-        "simulate throughput on {} ({} records, best of 3)\n{table}",
-        report.benchmark, report.predictors[0].records
+        "simulate throughput on {} ({} records, min of {} reps after warmup)\n{table}",
+        report.benchmark, report.predictors[0].records, report.reps
     );
+    if let Some(m) = &report.memory {
+        println!(
+            "memory: peak RSS {:.1} MiB, {} minor / {} major page faults",
+            m.peak_rss_kib as f64 / 1024.0,
+            m.minor_faults,
+            m.major_faults
+        );
+    }
     let g = &report.grid;
     println!(
         "grid: {} predictors x {} benchmarks at {} instructions, {} jobs: \
@@ -860,6 +899,21 @@ fn run_sim_bench_cmd(
         g.fused_speedup(),
         g.fused_matches_per_cell,
     );
+    if let Some(pct) = gate_pct {
+        let regressions = throughput_regressions(&report, pct);
+        if regressions.is_empty() {
+            println!("gate: no predictor regressed more than {pct}% vs baseline");
+        } else {
+            let worst: Vec<String> = regressions
+                .iter()
+                .map(|(name, speedup)| format!("{name} at {speedup:.2}x"))
+                .collect();
+            return Err(format!(
+                "throughput regression gate ({pct}% tolerance) failed: {}",
+                worst.join(", ")
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -9,7 +9,7 @@
 //! window of predict/update/notify calls must perform **zero**
 //! allocations for every predictor the acceptance criteria name.
 
-use imli_repro::sim::make_predictor;
+use imli_repro::sim::{drive_block, make_predictor};
 use imli_repro::workloads::cbp4_suite;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,6 +92,31 @@ fn steady_state_predict_update_is_allocation_free() {
             "{name}: steady-state predict/update allocated {} times over {} branches",
             after - before,
             predicted
+        );
+    }
+
+    // The same guarantee for the drive loop the simulator actually
+    // runs: `drive_block` adds the one-record lookahead and the
+    // `prefetch` hint for predictors that opt in (TAGE-SC-L's two-phase
+    // index/probe lookup behind a prefetched base row), and none of
+    // that may allocate either. Driven here for a prefetching and a
+    // non-prefetching predictor so both branches of the loop are
+    // measured.
+    for name in ["tage-sc-l", "gehl"] {
+        let mut predictor = make_predictor(name).expect("registered");
+        let mut stats = imli_repro::components::PredictorStats::default();
+        drive_block(predictor.as_mut(), warmup, &mut stats);
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        drive_block(predictor.as_mut(), measured, &mut stats);
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+        assert!(stats.predicted > 20_000, "{name}: drive_block ran");
+        assert_eq!(
+            after - before,
+            0,
+            "{name}: steady-state drive_block allocated {} times",
+            after - before,
         );
     }
 }
