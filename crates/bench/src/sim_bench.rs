@@ -35,6 +35,7 @@
 use crate::trace_bench::{json_f64, json_string};
 use bp_sim::{lookup, paper_report_predictors, simulate, Engine, GridStrategy};
 use bp_workloads::{cbp4_suite, generate, paper_suite};
+// bp-lint: allow(determinism, "wall-clock timing is the measurand of a throughput bench; timing fields are excluded from CI's byte-comparison")
 use std::time::Instant;
 
 /// Default throughput-leg repetitions (`bp bench --sim --reps` overrides).
@@ -329,6 +330,7 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+// bp-lint: allow-item(determinism, "wall-clock timing is the measurand of a throughput bench; timing fields are excluded from CI's byte-comparison")
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let started = Instant::now();
     let value = f();

@@ -110,6 +110,7 @@ impl ConfigValue {
     pub fn int(v: impl TryInto<i64>) -> Self {
         ConfigValue::Int(
             v.try_into()
+                // bp-lint: allow(panic-surface, "documented # Panics builder contract; no predictor geometry reaches i64::MAX")
                 .unwrap_or_else(|_| panic!("config integer out of i64 range")),
         )
     }
@@ -129,6 +130,7 @@ impl ConfigValue {
     pub fn set(mut self, key: &str, value: ConfigValue) -> Self {
         match &mut self {
             ConfigValue::Map(fields) => fields.push((key.to_owned(), value)),
+            // bp-lint: allow(panic-surface, "documented # Panics builder contract; callers chain set() on Map literals only")
             _ => panic!("set() on a non-map config value"),
         }
         self
@@ -396,7 +398,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ConfigError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ConfigError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -429,7 +431,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<ConfigValue, ConfigError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields: Vec<(String, ConfigValue)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -443,7 +445,7 @@ impl Parser<'_> {
                 return Err(self.err(&format!("duplicate object key `{key}`")));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -460,7 +462,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<ConfigValue, ConfigError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -507,7 +509,8 @@ impl Parser<'_> {
         if digits.len() > 1 && digits[0] == b'0' {
             return Err(self.err("leading zeros are not valid JSON"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad integer"))?;
         text.parse::<i64>()
             .map(ConfigValue::Int)
             .map_err(|_| self.err(&format!("bad integer `{text}`")))
@@ -524,12 +527,12 @@ impl Parser<'_> {
         if !hex.iter().all(u8::is_ascii_hexdigit) {
             return Err(self.err("bad \\u escape"));
         }
-        let hex = std::str::from_utf8(hex).expect("hex digits are ASCII");
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
         u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))
     }
 
     fn string(&mut self) -> Result<String, ConfigError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -563,7 +566,8 @@ impl Parser<'_> {
                                 }
                                 self.pos += 6;
                                 let code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(code).expect("valid surrogate pair")
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u surrogate pair"))?
                             } else {
                                 char::from_u32(code)
                                     .ok_or_else(|| self.err("bad \\u code point"))?
@@ -593,10 +597,9 @@ impl Parser<'_> {
                         _ => 4,
                     };
                     let c = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
-                        .expect("parse() input is &str, so always valid UTF-8")
-                        .chars()
-                        .next()
-                        .expect("non-empty");
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8 sequence"))?;
                     out.push(c);
                     self.pos += len;
                 }

@@ -86,6 +86,7 @@ impl SignedCounterTable {
     ///
     /// Panics if `entries` is not a power of two or `bits` is outside
     /// `1..=7`.
+    // bp-lint: allow-item(hot-path-alloc, "table construction is cold, once per predictor; hot reads/trains index the fixed buffer")
     pub fn new(entries: usize, bits: usize) -> Self {
         assert!(entries.is_power_of_two(), "entries must be a power of two");
         SignedCounterTable {
@@ -156,6 +157,7 @@ impl CounterBank {
     ///
     /// Panics if `entries` is not a power of two, `tables` is zero, or
     /// `bits` is outside `1..=7`.
+    // bp-lint: allow-item(hot-path-alloc, "bank construction is cold, once per predictor; hot gather/train index the fixed buffer")
     pub fn new(tables: usize, entries: usize, bits: usize) -> Self {
         assert!(entries.is_power_of_two(), "entries must be a power of two");
         assert!(tables > 0, "need at least one table");
@@ -228,6 +230,7 @@ impl CounterBank {
         );
         for (t, (&index, out)) in indices.iter().zip(out.iter_mut()).enumerate() {
             let slot = (t << self.log_entries) | (index & self.mask) as usize;
+            debug_assert!(slot < self.counters.len());
             // SAFETY: `t < tables()` by the assertion above and the
             // masked index is `< entries()`, so `slot < counters.len()`.
             *out = unsafe { self.counters.get_unchecked(slot) }.value();
@@ -251,6 +254,7 @@ impl CounterBank {
         );
         for (t, &index) in indices.iter().enumerate() {
             let slot = (t << self.log_entries) | (index & self.mask) as usize;
+            debug_assert!(slot < self.counters.len());
             // SAFETY: as in [`CounterBank::gather`].
             unsafe { self.counters.get_unchecked_mut(slot) }.train(taken);
         }

@@ -124,6 +124,7 @@ impl ImliConfig {
     /// The non-panicking twin is [`ImliConfig::check`].
     pub fn validate(&self) {
         if let Err(e) = self.check() {
+            // bp-lint: allow(panic-surface, "documented legacy panicking API; the validate-then-build path uses the non-panicking check()")
             panic!("{e}");
         }
     }

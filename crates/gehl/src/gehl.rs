@@ -56,11 +56,13 @@ impl GehlConfig {
             loop_predictor: None,
             threshold_init: 20,
             threshold_max: 511,
+            // bp-lint: allow(hot-path-alloc, "config construction is cold, once per predictor")
             name: "GEHL".to_owned(),
         }
     }
 
     /// GEHL + both IMLI components.
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold, once per predictor")
     pub fn imli() -> Self {
         GehlConfig {
             imli: Some(ImliConfig::default()),
@@ -70,6 +72,7 @@ impl GehlConfig {
     }
 
     /// GEHL + IMLI-SIC only.
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold, once per predictor")
     pub fn sic_only() -> Self {
         GehlConfig {
             imli: Some(ImliConfig::sic_only()),
@@ -79,6 +82,7 @@ impl GehlConfig {
     }
 
     /// GEHL + IMLI-OH only.
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold, once per predictor")
     pub fn oh_only() -> Self {
         GehlConfig {
             imli: Some(ImliConfig::oh_only()),
@@ -89,6 +93,7 @@ impl GehlConfig {
 
     /// FTL (§5): GEHL + 4 local tables over 24-bit local histories + a
     /// 32-entry loop predictor.
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold; never on the per-branch path")
     pub fn ftl() -> Self {
         GehlConfig {
             local: Some((24, 4)),
@@ -102,6 +107,7 @@ impl GehlConfig {
     }
 
     /// FTL + IMLI.
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold; never on the per-branch path")
     pub fn ftl_imli() -> Self {
         GehlConfig {
             imli: Some(ImliConfig::default()),
@@ -133,6 +139,7 @@ impl GehlConfig {
     /// non-panicking twin is [`GehlConfig::check`].
     pub fn validate(&self) {
         if let Err(e) = self.check() {
+            // bp-lint: allow(panic-surface, "documented legacy panicking API; the validate-then-build path uses the non-panicking check()")
             panic!("{e}");
         }
     }
@@ -181,6 +188,7 @@ impl PredictorConfig for GehlConfig {
         self.check()
     }
 
+    // bp-lint: allow-item(hot-path-alloc, "build() constructs a predictor once per run; never on the per-branch path")
     fn build(&self) -> Box<dyn ConditionalPredictor + Send> {
         Box::new(Gehl::new(self.clone()))
     }
@@ -236,6 +244,7 @@ impl PredictorConfig for GehlConfig {
             )
     }
 
+    // bp-lint: allow-item(hot-path-alloc, "config-file parsing is cold; never on the per-branch path")
     fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
         value.expect_keys(
             "gehl config",
@@ -322,6 +331,7 @@ impl Gehl {
     /// # Panics
     ///
     /// Panics if the configuration fails [`GehlConfig::validate`].
+    // bp-lint: allow-item(hot-path-alloc, "table construction is cold; steady-state predict/update is allocation-free (tests/hotpath_allocations.rs)")
     pub fn new(config: GehlConfig) -> Self {
         config.validate();
         let capacity = (config.max_history + 1).next_power_of_two().max(2048);
@@ -389,6 +399,7 @@ impl Gehl {
     }
 
     /// Storage breakdown: (component, bits).
+    // bp-lint: allow-item(hot-path-alloc, "storage accounting is reporting-time only, never on the predict/update path")
     pub fn budget_breakdown(&self) -> Vec<(String, u64)> {
         let mut parts = vec![("gehl-global".to_owned(), self.tables.storage_bits())];
         if let Some(local) = &self.local_tables {
@@ -497,6 +508,7 @@ impl ConditionalPredictor for Gehl {
     }
 
     fn update(&mut self, record: &BranchRecord) {
+        // bp-lint: allow(panic-surface, "CBP protocol contract: update() without a pending predict() is caller error, not data-dependent")
         let (ctx, sum, _loop_used) = self.lookup.take().expect("update without pending predict");
         let taken = record.taken;
         let mispredicted = self.last_pred != taken;
@@ -558,6 +570,7 @@ impl ConditionalPredictor for Gehl {
 }
 
 impl StorageBudget for Gehl {
+    // bp-lint: allow-item(hot-path-alloc, "storage accounting is reporting-time only, never on the predict/update path")
     fn storage_items(&self) -> Vec<StorageItem> {
         let mut items: Vec<StorageItem> = (0..self.tables.tables())
             .map(|i| {

@@ -30,4 +30,4 @@ pub use folded::FoldedHistory;
 pub use global::{GlobalHistory, GlobalHistoryCheckpoint};
 pub use local::LocalHistoryTable;
 pub use path::PathHistory;
-pub use state::{HistoryCheckpoint, HistoryState};
+pub use state::{FoldId, HistoryCheckpoint, HistoryState};

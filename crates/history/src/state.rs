@@ -112,6 +112,7 @@ impl HistoryState {
     ///
     /// Panics under the same conditions as [`GlobalHistory::new`] and
     /// [`PathHistory::new`].
+    // bp-lint: allow-item(hot-path-alloc, "bundle construction is cold; per-branch shift/fold is allocation-free (tests/hotpath_allocations.rs)")
     pub fn new(capacity: usize, path_len: usize) -> Self {
         HistoryState {
             global: GlobalHistory::new(capacity),
@@ -278,6 +279,7 @@ impl HistoryState {
     }
 
     /// Takes a checkpoint of the entire bundle.
+    // bp-lint: allow-item(hot-path-alloc, "checkpoint capture is wrong-path recovery, off the per-branch predict/update path")
     pub fn checkpoint(&self) -> HistoryCheckpoint {
         HistoryCheckpoint {
             global: self.global.checkpoint(),

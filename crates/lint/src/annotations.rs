@@ -1,0 +1,236 @@
+//! `// bp-lint:` allow-annotation parsing and scope resolution.
+//!
+//! Three forms, all requiring a written reason:
+//!
+//! * `// bp-lint: allow(<rule>, "<reason>")` — suppresses `<rule>` on
+//!   the annotation's own line (trailing form) and the next line;
+//! * `// bp-lint: allow-item(<rule>, "<reason>")` — suppresses
+//!   `<rule>` from the annotation through the end of the next
+//!   brace-balanced block (annotate a `fn`/`impl` once instead of
+//!   every line of its body);
+//! * `// bp-lint: allow-file(<rule>, "<reason>")` — suppresses
+//!   `<rule>` for the whole file.
+//!
+//! Hygiene is itself linted: malformed annotations, unknown rules,
+//! missing reasons, annotations for rules that cannot be waived
+//! (`unsafe-audit`, `lint-annotation`), and allows that suppress
+//! nothing all raise `lint-annotation` diagnostics, so the allowlist
+//! cannot silently rot.
+
+use crate::lexer::LexedFile;
+use crate::rules::{following_block_end, Rule};
+
+/// The three annotation scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowScope {
+    /// The annotation line and the line after it.
+    Line,
+    /// Through the end of the next brace-balanced block.
+    Item,
+    /// The entire file.
+    File,
+}
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being waived.
+    pub rule: Rule,
+    /// The mandatory human rationale.
+    pub reason: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// Inclusive 1-based line range the waiver covers.
+    pub first_line: u32,
+    /// Inclusive end of the covered range.
+    pub last_line: u32,
+    /// Set when the waiver suppressed at least one violation.
+    pub used: bool,
+}
+
+/// A malformed/unwaivable annotation, reported as `lint-annotation`.
+#[derive(Debug, Clone)]
+pub struct AnnotationError {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Scans every comment for `bp-lint:` markers and parses them.
+pub fn collect_allows(lexed: &LexedFile) -> (Vec<Allow>, Vec<AnnotationError>) {
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    for seg in lexed.comments() {
+        let text = lexed.segment_text(seg);
+        // Directives live in plain comments only and must lead the
+        // comment: doc comments (and prose that merely *mentions* the
+        // syntax, like this crate's own rustdoc) are not directives.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let body = text
+            .trim_start_matches("//")
+            .trim_start_matches("/*")
+            .trim_start();
+        let Some(rest) = body.strip_prefix("bp-lint:") else {
+            continue;
+        };
+        let line = lexed.line_of(seg.start);
+        let rest = rest.trim();
+        match parse_allow(rest) {
+            Ok((scope, rule, reason)) => {
+                if !rule.allowlistable() {
+                    errors.push(AnnotationError {
+                        line,
+                        message: format!(
+                            "rule `{}` cannot be allowlisted; it is contract-bearing",
+                            rule.name()
+                        ),
+                    });
+                    continue;
+                }
+                let (first_line, last_line) = match scope {
+                    AllowScope::Line => (line, line + 1),
+                    AllowScope::Item => {
+                        let end =
+                            following_block_end(&lexed.code, seg.end).unwrap_or(lexed.code.len());
+                        (line, lexed.line_of(end.saturating_sub(1).max(seg.end)))
+                    }
+                    AllowScope::File => (1, lexed.line_count()),
+                };
+                allows.push(Allow {
+                    rule,
+                    reason,
+                    line,
+                    first_line,
+                    last_line,
+                    used: false,
+                });
+            }
+            Err(message) => errors.push(AnnotationError { line, message }),
+        }
+    }
+    (allows, errors)
+}
+
+/// Parses `allow(<rule>, "<reason>")` (or the `-item`/`-file` forms)
+/// from the text after the `bp-lint:` marker.
+fn parse_allow(rest: &str) -> Result<(AllowScope, Rule, String), String> {
+    let (scope, tail) = if let Some(t) = rest.strip_prefix("allow-item") {
+        (AllowScope::Item, t)
+    } else if let Some(t) = rest.strip_prefix("allow-file") {
+        (AllowScope::File, t)
+    } else if let Some(t) = rest.strip_prefix("allow") {
+        (AllowScope::Line, t)
+    } else {
+        return Err(format!(
+            "unknown bp-lint directive `{}`; expected allow/allow-item/allow-file",
+            rest.split_whitespace().next().unwrap_or("")
+        ));
+    };
+    let tail = tail.trim_start();
+    let tail = tail
+        .strip_prefix('(')
+        .ok_or("expected `(` after allow directive".to_owned())?;
+    let comma = tail
+        .find(',')
+        .ok_or("expected `allow(<rule>, \"<reason>\")`".to_owned())?;
+    let rule_name = tail[..comma].trim();
+    let rule = Rule::from_name(rule_name).ok_or_else(|| format!("unknown rule `{rule_name}`"))?;
+    let after = tail[comma + 1..].trim_start();
+    let body = after
+        .strip_prefix('"')
+        .ok_or("reason must be a quoted string".to_owned())?;
+    let close = body
+        .find('"')
+        .ok_or("unterminated reason string".to_owned())?;
+    let reason = body[..close].trim().to_owned();
+    if reason.is_empty() {
+        return Err("reason must not be empty: write down why the waiver is sound".to_owned());
+    }
+    let after_close = body[close + 1..].trim_start();
+    if !after_close.starts_with(')') {
+        return Err("expected `)` after the reason".to_owned());
+    }
+    Ok((scope, rule, reason))
+}
+
+/// Marks a matching in-scope allow used and reports whether the
+/// violation at (`rule`, `line`) is suppressed.
+pub fn suppressed(allows: &mut [Allow], rule: Rule, line: u32) -> bool {
+    let mut hit = false;
+    for allow in allows.iter_mut() {
+        if allow.rule == rule && allow.first_line <= line && line <= allow.last_line {
+            allow.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allows_of(src: &str) -> (Vec<Allow>, Vec<AnnotationError>) {
+        collect_allows(&LexedFile::lex(src))
+    }
+
+    #[test]
+    fn line_allow_covers_self_and_next_line() {
+        let src = "// bp-lint: allow(hot-path-alloc, \"cold constructor\")\nlet v = Vec::new();\nlet w = Vec::new();";
+        let (allows, errors) = allows_of(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!((allows[0].first_line, allows[0].last_line), (1, 2));
+        assert_eq!(allows[0].reason, "cold constructor");
+    }
+
+    #[test]
+    fn item_allow_covers_following_block() {
+        let src = "// bp-lint: allow-item(hot-path-alloc, \"ctor\")\nfn new() -> Self {\n  let v = Vec::new();\n  v\n}\nfn hot() {}";
+        let (allows, errors) = allows_of(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!((allows[0].first_line, allows[0].last_line), (1, 5));
+    }
+
+    #[test]
+    fn file_allow_covers_everything() {
+        let src = "//! docs\n// bp-lint: allow-file(determinism, \"timing is the measurand\")\nfn f() {}\n";
+        let (allows, _) = allows_of(src);
+        assert_eq!(allows[0].first_line, 1);
+        assert!(allows[0].last_line >= 3);
+    }
+
+    #[test]
+    fn malformed_and_unwaivable_annotations_error() {
+        let cases = [
+            "// bp-lint: allow(hot-path-alloc)",
+            "// bp-lint: allow(no-such-rule, \"x\")",
+            "// bp-lint: allow(hot-path-alloc, \"\")",
+            "// bp-lint: allow(unsafe-audit, \"nope\")",
+            "// bp-lint: disallow(x, \"y\")",
+            "// bp-lint: allow(hot-path-alloc, \"x\" extra",
+        ];
+        for src in cases {
+            let (allows, errors) = allows_of(src);
+            assert!(allows.is_empty(), "{src}");
+            assert_eq!(errors.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn suppression_marks_used() {
+        let src = "// bp-lint: allow(panic-surface, \"infallible\")\nx.unwrap();";
+        let (mut allows, _) = allows_of(src);
+        assert!(suppressed(&mut allows, Rule::PanicSurface, 2));
+        assert!(allows[0].used);
+        assert!(!suppressed(&mut allows, Rule::PanicSurface, 3));
+        assert!(!suppressed(&mut allows, Rule::Determinism, 2));
+    }
+}

@@ -1,0 +1,322 @@
+//! The unsafe-audit rule: every `unsafe` must carry an immediately
+//! preceding justification, and the full inventory renders to a
+//! deterministic `UNSAFE_AUDIT.md` that CI cmp-checks so new `unsafe`
+//! cannot land silently.
+//!
+//! Accepted justification forms, matching Rust convention:
+//!
+//! * a `// SAFETY: ...` line comment directly above the `unsafe`
+//!   (attribute lines and comment continuations may sit between);
+//! * for `unsafe fn`/`unsafe trait`/`unsafe impl` declarations, a doc
+//!   comment with a `# Safety` section.
+
+use crate::lexer::LexedFile;
+use crate::rules::find_banned;
+
+/// What the `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// An `unsafe { .. }` block.
+    Block,
+    /// An `unsafe fn` declaration.
+    Fn,
+    /// An `unsafe impl`.
+    Impl,
+    /// An `unsafe trait`.
+    Trait,
+    /// Anything else (`unsafe extern`, macro-position uses).
+    Other,
+}
+
+impl UnsafeKind {
+    /// Stable lowercase label used in the audit table.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Other => "other",
+        }
+    }
+}
+
+/// One audited `unsafe` site.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// Crate the file belongs to.
+    pub krate: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Block / fn / impl / trait.
+    pub kind: UnsafeKind,
+    /// The justification text, when one was found.
+    pub justification: Option<String>,
+}
+
+/// Scans a lexed file for `unsafe` sites and their justifications.
+pub fn unsafe_sites(rel_path: &str, krate: &str, lexed: &LexedFile) -> Vec<UnsafeSite> {
+    find_banned(&lexed.code, "unsafe")
+        .into_iter()
+        .map(|at| {
+            let kind = classify(&lexed.code, at + "unsafe".len());
+            UnsafeSite {
+                path: rel_path.to_owned(),
+                krate: krate.to_owned(),
+                line: lexed.line_of(at),
+                kind,
+                justification: justification_for(lexed, at, kind),
+            }
+        })
+        .collect()
+}
+
+/// Looks at the token after `unsafe` to classify the site.
+fn classify(code: &str, after: usize) -> UnsafeKind {
+    let rest = code[after..].trim_start();
+    if rest.starts_with('{') {
+        UnsafeKind::Block
+    } else if rest.starts_with("fn") {
+        UnsafeKind::Fn
+    } else if rest.starts_with("impl") {
+        UnsafeKind::Impl
+    } else if rest.starts_with("trait") {
+        UnsafeKind::Trait
+    } else {
+        UnsafeKind::Other
+    }
+}
+
+/// Walks upward from the `unsafe` keyword's line over the contiguous
+/// run of comment/attribute lines and extracts the justification.
+fn justification_for(lexed: &LexedFile, at: usize, kind: UnsafeKind) -> Option<String> {
+    let anchor_line = lexed.line_of(at);
+    let mut comment_lines: Vec<&str> = Vec::new(); // top-down order
+    let mut line = anchor_line;
+    while line > 1 {
+        line -= 1;
+        match line_role(lexed, line) {
+            LineRole::Comment(text) => comment_lines.insert(0, text),
+            LineRole::Attribute => continue,
+            LineRole::Code | LineRole::Blank => break,
+        }
+    }
+    // Also accept a block comment or trailing `// SAFETY:` on the
+    // anchor line itself, *before* the keyword (e.g. after `=`):
+    // `let x = /* SAFETY: .. */ unsafe { .. }`.
+    for seg in lexed.comments() {
+        if seg.end <= at && lexed.line_of(seg.start) == anchor_line {
+            comment_lines.push(lexed.segment_text(seg));
+        }
+    }
+
+    extract_safety(&comment_lines, kind)
+}
+
+enum LineRole<'a> {
+    Comment(&'a str),
+    Attribute,
+    Code,
+    Blank,
+}
+
+/// Classifies source line `line` (1-based) for the upward walk.
+fn line_role(lexed: &LexedFile, line: u32) -> LineRole<'_> {
+    let (start, end) = lexed.line_span(line);
+    let code_part = lexed.code[start..end].trim();
+    let raw_part = lexed.src[start..end].trim();
+    if code_part.is_empty() {
+        if raw_part.is_empty() {
+            return LineRole::Blank;
+        }
+        // Non-code text: part of a comment (or a stray literal
+        // continuation, which cannot precede `unsafe` in valid Rust).
+        return LineRole::Comment(raw_part);
+    }
+    if code_part.starts_with("#[") || code_part.starts_with("#!") {
+        return LineRole::Attribute;
+    }
+    LineRole::Code
+}
+
+/// Pulls the justification out of a top-down run of comment lines:
+/// text after `SAFETY:` plus its continuation lines, or the first
+/// paragraph under a `# Safety` doc heading for declarations.
+fn extract_safety(comment_lines: &[&str], kind: UnsafeKind) -> Option<String> {
+    if let Some(idx) = comment_lines.iter().position(|l| l.contains("SAFETY:")) {
+        let mut parts: Vec<String> = Vec::new();
+        let first = comment_lines[idx];
+        let tail = &first[first.find("SAFETY:").unwrap() + "SAFETY:".len()..];
+        parts.push(tail.trim().to_owned());
+        for cont in &comment_lines[idx + 1..] {
+            let text = strip_comment_lead(cont);
+            if text.is_empty() {
+                break;
+            }
+            parts.push(text.to_owned());
+        }
+        let joined = parts.join(" ").trim().to_owned();
+        return if joined.is_empty() {
+            None
+        } else {
+            Some(joined)
+        };
+    }
+    // `# Safety` doc section (declarations only: a block cannot carry
+    // doc comments).
+    if !matches!(kind, UnsafeKind::Block) {
+        if let Some(idx) = comment_lines
+            .iter()
+            .position(|l| strip_comment_lead(l).starts_with("# Safety"))
+        {
+            let mut parts: Vec<String> = Vec::new();
+            for cont in &comment_lines[idx + 1..] {
+                let text = strip_comment_lead(cont);
+                if text.is_empty() && !parts.is_empty() {
+                    break;
+                }
+                if !text.is_empty() {
+                    parts.push(text.to_owned());
+                }
+            }
+            if !parts.is_empty() {
+                return Some(parts.join(" "));
+            }
+        }
+    }
+    None
+}
+
+/// Removes `//`/`///`/`//!`/`/*`/`*` comment leaders and `*/` tails.
+fn strip_comment_lead(line: &str) -> &str {
+    let mut t = line.trim();
+    for lead in ["//!", "///", "//", "/**", "/*!", "/*"] {
+        if let Some(rest) = t.strip_prefix(lead) {
+            t = rest;
+            break;
+        }
+    }
+    t = t.strip_prefix('*').unwrap_or(t);
+    t = t.strip_suffix("*/").unwrap_or(t);
+    t.trim()
+}
+
+/// Renders the deterministic `UNSAFE_AUDIT.md` inventory. Sites must
+/// already be in workspace order (sorted path, then line).
+pub fn render_audit(sites: &[UnsafeSite]) -> String {
+    let mut out = String::new();
+    out.push_str("# UNSAFE_AUDIT — audited `unsafe` inventory\n\n");
+    out.push_str(
+        "Machine-generated by `bp lint --fix-audit`; do not edit by hand.\n\
+         CI regenerates this file and `cmp`s it against the committed copy,\n\
+         so a new `unsafe` site (or an edited justification) cannot land\n\
+         without showing up in review here.\n\n",
+    );
+    out.push_str(&format!("Audited sites: {}\n\n", sites.len()));
+    out.push_str("| # | Crate | Site | Kind | Justification |\n");
+    out.push_str("|---|-------|------|------|---------------|\n");
+    for (i, site) in sites.iter().enumerate() {
+        let justification = site
+            .justification
+            .as_deref()
+            .unwrap_or("**MISSING `// SAFETY:` justification**");
+        out.push_str(&format!(
+            "| {} | {} | {}:{} | {} | {} |\n",
+            i + 1,
+            site.krate,
+            site.path,
+            site.line,
+            site.kind.label(),
+            cell(justification),
+        ));
+    }
+    out
+}
+
+/// Escapes a justification for a one-line markdown table cell.
+fn cell(text: &str) -> String {
+    text.replace('|', "\\|").replace('\n', " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<UnsafeSite> {
+        unsafe_sites("crates/x/src/lib.rs", "bp-x", &LexedFile::lex(src))
+    }
+
+    #[test]
+    fn safety_comment_is_attached() {
+        let src = "fn f() {\n    // SAFETY: index is masked to table len.\n    unsafe { g() }\n}";
+        let s = sites(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, UnsafeKind::Block);
+        assert_eq!(
+            s[0].justification.as_deref(),
+            Some("index is masked to table len.")
+        );
+    }
+
+    #[test]
+    fn multi_line_safety_comment_joins() {
+        let src = "// SAFETY: the pointer is in bounds\n// and the lifetime outlives the call.\nunsafe fn f() {}";
+        let s = sites(src);
+        assert_eq!(
+            s[0].justification.as_deref(),
+            Some("the pointer is in bounds and the lifetime outlives the call.")
+        );
+    }
+
+    #[test]
+    fn attributes_between_comment_and_unsafe_are_skipped() {
+        let src = "// SAFETY: avx2 verified at construction.\n#[target_feature(enable = \"avx2\")]\nunsafe fn f() {}";
+        assert!(sites(src)[0].justification.is_some());
+    }
+
+    #[test]
+    fn doc_safety_section_counts_for_declarations() {
+        let src =
+            "/// Does things.\n///\n/// # Safety\n///\n/// Caller must uphold X.\nunsafe fn f() {}";
+        let s = sites(src);
+        assert_eq!(s[0].kind, UnsafeKind::Fn);
+        assert_eq!(s[0].justification.as_deref(), Some("Caller must uphold X."));
+    }
+
+    #[test]
+    fn missing_justification_is_detected() {
+        let src = "fn f() {\n    let x = 1;\n    unsafe { g() }\n}";
+        assert!(sites(src)[0].justification.is_none());
+    }
+
+    #[test]
+    fn blank_line_breaks_attachment() {
+        let src = "// SAFETY: stale, detached.\n\nunsafe fn f() {}";
+        assert!(sites(src)[0].justification.is_none());
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_invisible() {
+        let src = "// unsafe here\nlet s = \"unsafe there\";";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn impl_and_trait_kinds() {
+        let src = "// SAFETY: no shared state.\nunsafe impl Send for X {}\n// SAFETY: contract Y.\nunsafe trait T {}";
+        let s = sites(src);
+        assert_eq!(s[0].kind, UnsafeKind::Impl);
+        assert_eq!(s[1].kind, UnsafeKind::Trait);
+    }
+
+    #[test]
+    fn audit_renders_deterministically() {
+        let src = "// SAFETY: reason.\nunsafe fn f() {}";
+        let a = render_audit(&sites(src));
+        let b = render_audit(&sites(src));
+        assert_eq!(a, b);
+        assert!(a.contains("| 1 | bp-x | crates/x/src/lib.rs:2 | fn | reason. |"));
+    }
+}

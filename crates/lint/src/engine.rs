@@ -1,0 +1,356 @@
+//! The lint engine: per-file rule orchestration, the workspace walk,
+//! and deterministic diagnostic/JSON rendering.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::annotations::{collect_allows, suppressed, Allow};
+use crate::audit::{render_audit, unsafe_sites, UnsafeSite};
+use crate::lexer::{LexedFile, SegmentKind};
+use crate::rules::{
+    find_banned, test_regions, Banned, Policy, Rule, TestRegion, DETERMINISM_BANNED,
+    HOT_PATH_BANNED, PANIC_BANNED,
+};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line; 0 for file-level findings (audit drift).
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations found (unsuppressed), in line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every `unsafe` site, justified or not.
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Result of linting a workspace tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All violations, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// All `unsafe` sites, sorted by (path, line).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Renders the deterministic `UNSAFE_AUDIT.md` content for this
+    /// report's inventory.
+    pub fn render_audit(&self) -> String {
+        render_audit(&self.unsafe_sites)
+    }
+
+    /// Renders the report as deterministic JSON (the `bp lint --json`
+    /// payload).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"bp-lint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"unsafe_sites\": {},\n",
+            self.unsafe_sites.len()
+        ));
+        out.push_str(&format!(
+            "  \"violations\": {},\n  \"diagnostics\": [",
+            self.diagnostics.len()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_string(&d.path),
+                d.line,
+                json_string(d.rule.name()),
+                json_string(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaper (the crate is dependency-free by
+/// design, so it cannot borrow `bp_components::json_string`).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Maps a workspace-relative file path to the crate it belongs to.
+pub fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => match parts.next() {
+            Some("core") => "imli".to_owned(),
+            Some(dir) => format!("bp-{dir}"),
+            None => "imli-repro".to_owned(),
+        },
+        _ => "imli-repro".to_owned(), // src/, tests/, examples/
+    }
+}
+
+/// Lints one file's source text under the given policy. `rel_path`
+/// decides which scoped rules apply.
+pub fn lint_source(rel_path: &str, src: &str, policy: &Policy) -> FileOutcome {
+    let lexed = LexedFile::lex(src);
+    let regions = test_regions(&lexed);
+    let (mut allows, annotation_errors) = collect_allows(&lexed);
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    for err in &annotation_errors {
+        diagnostics.push(Diagnostic {
+            path: rel_path.to_owned(),
+            line: err.line,
+            rule: Rule::LintAnnotation,
+            message: err.message.clone(),
+        });
+    }
+
+    // unsafe-audit: unconditional, not allowlistable, test code
+    // included (test `unsafe` is still `unsafe`).
+    let sites = unsafe_sites(rel_path, &crate_of(rel_path), &lexed);
+    for site in &sites {
+        if site.justification.is_none() {
+            diagnostics.push(Diagnostic {
+                path: rel_path.to_owned(),
+                line: site.line,
+                rule: Rule::UnsafeAudit,
+                message: format!(
+                    "`unsafe` {} without an immediately preceding `// SAFETY:` comment{}",
+                    site.kind.label(),
+                    if site.kind.label() == "block" {
+                        ""
+                    } else {
+                        " (or a `# Safety` doc section)"
+                    }
+                ),
+            });
+        }
+    }
+
+    let scoped = |banned: &[Banned],
+                  rule: Rule,
+                  contract: &str,
+                  diagnostics: &mut Vec<Diagnostic>,
+                  allows: &mut Vec<Allow>| {
+        for b in banned {
+            for at in find_banned(&lexed.code, b.needle) {
+                if in_test_region(&regions, at) {
+                    continue;
+                }
+                let line = lexed.line_of(at);
+                if suppressed(allows, rule, line) {
+                    continue;
+                }
+                diagnostics.push(Diagnostic {
+                    path: rel_path.to_owned(),
+                    line,
+                    rule,
+                    message: format!("`{}` {} ({})", b.needle, b.why, contract),
+                });
+            }
+        }
+    };
+
+    if policy.is_hot(rel_path) {
+        scoped(
+            HOT_PATH_BANNED,
+            Rule::HotPathAlloc,
+            "zero-steady-state-allocation contract",
+            &mut diagnostics,
+            &mut allows,
+        );
+    }
+    if policy.is_deterministic(rel_path) {
+        scoped(
+            DETERMINISM_BANNED,
+            Rule::Determinism,
+            "byte-deterministic artifact contract",
+            &mut diagnostics,
+            &mut allows,
+        );
+        // Debug formatting of floats is shortest-round-trip, not
+        // fixed-precision: ban `:?` format specs in these modules.
+        for seg in &lexed.segments {
+            if !matches!(seg.kind, SegmentKind::Str | SegmentKind::RawStr) {
+                continue;
+            }
+            if in_test_region(&regions, seg.start) {
+                continue;
+            }
+            if lexed.segment_text(seg).contains(":?") {
+                let line = lexed.line_of(seg.start);
+                if suppressed(&mut allows, Rule::Determinism, line) {
+                    continue;
+                }
+                diagnostics.push(Diagnostic {
+                    path: rel_path.to_owned(),
+                    line,
+                    rule: Rule::Determinism,
+                    message: "`{:?}` formatting in an artifact module: Debug float output \
+                              is shortest-round-trip, not fixed-precision (byte-deterministic \
+                              artifact contract)"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+    if policy.is_panic_free(rel_path) {
+        scoped(
+            PANIC_BANNED,
+            Rule::PanicSurface,
+            "validate-then-build-safely contract",
+            &mut diagnostics,
+            &mut allows,
+        );
+    }
+
+    for allow in &allows {
+        if !allow.used {
+            diagnostics.push(Diagnostic {
+                path: rel_path.to_owned(),
+                line: allow.line,
+                rule: Rule::LintAnnotation,
+                message: format!(
+                    "unused allow({}): it suppresses nothing; remove it or fix its scope",
+                    allow.rule.name()
+                ),
+            });
+        }
+    }
+
+    diagnostics.sort();
+    FileOutcome {
+        diagnostics,
+        unsafe_sites: sites,
+    }
+}
+
+fn in_test_region(regions: &[TestRegion], offset: usize) -> bool {
+    regions.iter().any(|r| r.contains(offset))
+}
+
+/// Collects the workspace's lintable `.rs` files: everything under
+/// `src/`, `crates/`, `tests/`, and `examples/`, excluding `target/`
+/// and the vendored dependency shims. Paths come back sorted and
+/// workspace-relative with forward slashes.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace file under `root` with the default policy.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    lint_workspace_with(root, &crate::rules::default_policy())
+}
+
+/// Lints every workspace file under `root` with an explicit policy.
+pub fn lint_workspace_with(root: &Path, policy: &Policy) -> Result<LintReport, String> {
+    let files = workspace_files(root)?;
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let outcome = lint_source(&rel, &src, policy);
+        report.diagnostics.extend(outcome.diagnostics);
+        report.unsafe_sites.extend(outcome.unsafe_sites);
+    }
+    report.diagnostics.sort();
+    report
+        .unsafe_sites
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Ascends from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]` — the root `bp lint` operates on.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

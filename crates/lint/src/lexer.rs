@@ -1,0 +1,436 @@
+//! A minimal Rust lexer: just enough token classification to separate
+//! *code* from *non-code* (comments, string/char literals) without
+//! parsing.
+//!
+//! The whole lint engine rests on one guarantee: **a lint can never
+//! fire inside a comment or a literal**. The lexer delivers it by
+//! producing a *blanked* view of the source — a byte-for-byte copy in
+//! which every byte of every comment, string, raw string, byte string,
+//! and char literal is replaced by a space (newlines are preserved so
+//! line numbers survive). Rules then scan the blanked view with plain
+//! substring searches; anything the lexer blanked is invisible to them
+//! by construction. The classification itself is property-tested in
+//! `tests/lexer_properties.rs` over adversarial comment/raw-string/
+//! char-literal content.
+//!
+//! Handled syntax:
+//!
+//! * line comments `//`, doc comments `///` and `//!`;
+//! * block comments `/* .. */` **with nesting**, incl. `/** .. */`;
+//! * string literals with escapes (`"a\"b"`), byte strings `b"..."`,
+//!   C strings `c"..."`;
+//! * raw strings `r"..."`, `r#"..."#` (any number of `#`s), and the
+//!   `br`/`cr` prefixed forms;
+//! * char literals `'a'`, `'\n'`, `'\u{1F600}'`, byte chars `b'x'`,
+//!   disambiguated from lifetimes (`'a`, `'static`) and loop labels;
+//! * raw identifiers `r#type` (kept as code, not mistaken for a raw
+//!   string opener).
+
+/// Classification of one contiguous region of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A `//`-to-end-of-line comment (incl. `///` and `//!` doc forms).
+    LineComment,
+    /// A (possibly nested) `/* .. */` comment.
+    BlockComment,
+    /// A `"…"`, `b"…"`, or `c"…"` literal with escape processing.
+    Str,
+    /// A raw `r"…"`/`r#"…"#`/`br#"…"#`/`cr#"…"#` literal.
+    RawStr,
+    /// A `'…'` or `b'…'` char literal.
+    Char,
+}
+
+/// One non-code region: its classification and byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// What the region is.
+    pub kind: SegmentKind,
+    /// Byte offset of the region's first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the region's last byte (exclusive).
+    pub end: usize,
+}
+
+/// A lexed source file: the original text, the blanked code view, and
+/// the list of non-code segments.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// The original source text.
+    pub src: String,
+    /// The blanked view: same length as `src`, identical outside
+    /// non-code segments; inside them every byte is a space except
+    /// newlines, which are preserved.
+    pub code: String,
+    /// Every non-code region, in source order, non-overlapping.
+    pub segments: Vec<Segment>,
+    /// Byte offset of the start of each line (line 1 first).
+    line_starts: Vec<usize>,
+}
+
+impl LexedFile {
+    /// Lexes `src`. Never fails: unterminated literals or comments
+    /// extend to end of input (the compiler rejects such files anyway;
+    /// the lexer only has to stay sound and total).
+    pub fn lex(src: &str) -> LexedFile {
+        let bytes = src.as_bytes();
+        let len = bytes.len();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut i = 0usize;
+        while i < len {
+            let b = bytes[i];
+            match b {
+                b'/' if i + 1 < len && bytes[i + 1] == b'/' => {
+                    let end = line_comment_end(bytes, i);
+                    segments.push(Segment {
+                        kind: SegmentKind::LineComment,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                }
+                b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
+                    let end = block_comment_end(bytes, i);
+                    segments.push(Segment {
+                        kind: SegmentKind::BlockComment,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                }
+                b'"' => {
+                    let end = quoted_end(bytes, i + 1, b'"');
+                    segments.push(Segment {
+                        kind: SegmentKind::Str,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                }
+                b'r' | b'b' | b'c' if !prev_is_ident(bytes, i) => {
+                    if let Some((kind, end)) = literal_prefix(bytes, i) {
+                        segments.push(Segment {
+                            kind,
+                            start: i,
+                            end,
+                        });
+                        i = end;
+                    } else {
+                        i += 1; // plain identifier start
+                    }
+                }
+                b'\'' => {
+                    if let Some(end) = char_literal_end(src, bytes, i) {
+                        segments.push(Segment {
+                            kind: SegmentKind::Char,
+                            start: i,
+                            end,
+                        });
+                        i = end;
+                    } else {
+                        // Lifetime or loop label: skip the quote and
+                        // the identifier after it as code.
+                        i += 1;
+                        while i < len && is_ident_byte(bytes[i]) {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+
+        let mut code = src.as_bytes().to_vec();
+        for seg in &segments {
+            for byte in &mut code[seg.start..seg.end] {
+                if *byte != b'\n' {
+                    *byte = b' ';
+                }
+            }
+        }
+        // Blanking replaces whole bytes with ASCII spaces, so the
+        // buffer stays valid UTF-8 (multi-byte sequences are only ever
+        // replaced in full: segments cover complete chars).
+        let code = String::from_utf8(code).expect("blanking preserves UTF-8");
+
+        let mut line_starts = vec![0usize];
+        for (pos, &byte) in src.as_bytes().iter().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(pos + 1);
+            }
+        }
+
+        LexedFile {
+            src: src.to_owned(),
+            code,
+            segments,
+            line_starts,
+        }
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx as u32 + 1,
+            Err(idx) => idx as u32,
+        }
+    }
+
+    /// Total number of lines (at least 1, even for an empty file).
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+
+    /// Byte span `[start, end)` of 1-based line `line`, including its
+    /// trailing newline.
+    pub fn line_span(&self, line: u32) -> (usize, usize) {
+        let idx = (line as usize)
+            .saturating_sub(1)
+            .min(self.line_starts.len() - 1);
+        let start = self.line_starts[idx];
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .copied()
+            .unwrap_or(self.src.len());
+        (start, end)
+    }
+
+    /// The source text of a segment.
+    pub fn segment_text(&self, seg: &Segment) -> &str {
+        &self.src[seg.start..seg.end]
+    }
+
+    /// The comments of the file, in source order.
+    pub fn comments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s.kind, SegmentKind::LineComment | SegmentKind::BlockComment))
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(bytes[i - 1])
+}
+
+fn line_comment_end(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+/// End of a (nested) block comment opened at `start`; end of input if
+/// unterminated.
+fn block_comment_end(bytes: &[u8], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        if i + 1 < bytes.len() && bytes[i] == b'/' && bytes[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else if i + 1 < bytes.len() && bytes[i] == b'*' && bytes[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// End of a `quote`-delimited literal whose body starts at `from`,
+/// honoring backslash escapes; end of input if unterminated.
+fn quoted_end(bytes: &[u8], from: usize, quote: u8) -> usize {
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i = (i + 2).min(bytes.len()),
+            b if b == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// End of a raw literal: at `from` sit zero or more `#`s then `"`; the
+/// literal closes at `"` followed by the same number of `#`s.
+fn raw_literal_end(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    let mut i = from;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return None; // r#ident (raw identifier) or bare `r`
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..].len() >= hashes
+            && bytes[i + 1..i + 1 + hashes].iter().all(|&b| b == b'#')
+        {
+            return Some(i + 1 + hashes);
+        }
+        i += 1;
+    }
+    Some(bytes.len()) // unterminated: swallow the rest
+}
+
+/// Recognizes `r"…"`, `b"…"`, `c"…"`, `br"…"`, `cr"…"` (each with
+/// optional `#`s for the raw forms) and `b'…'` starting at `i`, where
+/// `bytes[i]` is `r`, `b`, or `c`. Returns `(kind, end)` or `None` if
+/// this is an ordinary identifier.
+fn literal_prefix(bytes: &[u8], i: usize) -> Option<(SegmentKind, usize)> {
+    let b0 = bytes[i];
+    let b1 = bytes.get(i + 1).copied();
+    match (b0, b1) {
+        (b'r', Some(b'"')) | (b'r', Some(b'#')) => {
+            raw_literal_end(bytes, i + 1).map(|end| (SegmentKind::RawStr, end))
+        }
+        (b'b' | b'c', Some(b'"')) => Some((SegmentKind::Str, quoted_end(bytes, i + 2, b'"'))),
+        (b'b', Some(b'\'')) => {
+            // Byte char literal b'x' / b'\n'.
+            Some((SegmentKind::Char, quoted_end(bytes, i + 2, b'\'')))
+        }
+        (b'b' | b'c', Some(b'r')) => match bytes.get(i + 2).copied() {
+            Some(b'"') | Some(b'#') => {
+                raw_literal_end(bytes, i + 2).map(|end| (SegmentKind::RawStr, end))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// If the `'` at `i` opens a char literal, returns its end; `None`
+/// means lifetime/label. A char literal is `'` + (escape | one char)
+/// + `'`; anything else after the quote is a lifetime.
+fn char_literal_end(src: &str, bytes: &[u8], i: usize) -> Option<usize> {
+    let next = bytes.get(i + 1).copied()?;
+    if next == b'\\' {
+        return Some(quoted_end(bytes, i + 1, b'\''));
+    }
+    if next == b'\'' {
+        return None; // `''` is not valid; treat as stray quotes (code)
+    }
+    // Width of the single char after the quote (may be multi-byte).
+    let ch = src[i + 1..].chars().next()?;
+    let after = i + 1 + ch.len_utf8();
+    if bytes.get(after).copied() == Some(b'\'') {
+        Some(after + 1)
+    } else {
+        None // `'a>` / `'static` — a lifetime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(src: &str) -> String {
+        LexedFile::lex(src).code
+    }
+
+    #[test]
+    fn line_and_block_comments_are_blanked() {
+        let src = "let a = 1; // Vec::new\nlet b = /* unwrap() */ 2;";
+        let code = blank(src);
+        assert!(code.contains("let a = 1;"));
+        assert!(code.contains("let b ="));
+        assert!(!code.contains("Vec::new"));
+        assert!(!code.contains("unwrap"));
+        assert_eq!(code.len(), src.len());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let code = blank(src);
+        assert!(code.starts_with('a'));
+        assert!(code.ends_with('b'));
+        assert!(!code.contains("inner"));
+        assert!(!code.contains("still"));
+    }
+
+    #[test]
+    fn strings_and_escapes_are_blanked() {
+        let src = r#"let s = "a\"b // not a comment"; after();"#;
+        let code = blank(src);
+        assert!(code.contains("after()"));
+        assert!(!code.contains("not a comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"contains "quotes" and unwrap()"#; tail();"###;
+        let code = blank(src);
+        assert!(code.contains("tail()"));
+        assert!(!code.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_identifier_is_code() {
+        let src = "let r#type = 1; use_it(r#type);";
+        let code = blank(src);
+        assert_eq!(code, src);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; if c == '\"' {} }";
+        let lexed = LexedFile::lex(src);
+        assert!(lexed.code.contains("fn f<'a>(x: &'a str)"));
+        let chars: Vec<_> = lexed
+            .segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 3, "{:?}", lexed.segments);
+    }
+
+    #[test]
+    fn byte_and_c_literals() {
+        let src = "let a = b'x'; let s = b\"bytes\"; let c = c\"cstr\"; let r = br#\"raw\"#;";
+        let code = blank(src);
+        assert!(!code.contains("bytes"));
+        assert!(!code.contains("cstr"));
+        assert!(!code.contains("raw"));
+        assert!(code.contains("let a ="));
+    }
+
+    #[test]
+    fn multibyte_char_literal_and_comment() {
+        let src = "let c = 'é'; // caffé ☕\nnext();";
+        let code = blank(src);
+        assert!(code.contains("next()"));
+        assert!(!code.contains("caffé"));
+        assert_eq!(code.len(), src.len());
+    }
+
+    #[test]
+    fn line_numbers() {
+        let lexed = LexedFile::lex("a\nb\nc");
+        assert_eq!(lexed.line_of(0), 1);
+        assert_eq!(lexed.line_of(2), 2);
+        assert_eq!(lexed.line_of(4), 3);
+        assert_eq!(lexed.line_count(), 3);
+    }
+
+    #[test]
+    fn unterminated_forms_extend_to_eof() {
+        for src in ["// open", "/* open", "\"open", "r#\"open", "'\\", "b\"open"] {
+            let lexed = LexedFile::lex(src);
+            assert_eq!(lexed.code.len(), src.len(), "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # bp-lint — workspace invariant lint engine
+//!
+//! The repo carries three load-bearing contracts that are otherwise
+//! only enforced at runtime, by spot tests and CI `cmp` smoke checks:
+//!
+//! 1. **artifact determinism** — `REPORT_*`/`SWEEP_*` files must be
+//!    byte-identical across runs and worker counts (the
+//!    content-addressable-cache story);
+//! 2. **allocation-free hot paths** — predictor predict/update loops
+//!    must not touch the heap in steady state (proven dynamically by
+//!    the counting-allocator test, but only for the configs that test
+//!    runs);
+//! 3. **a small, audited `unsafe` surface** — every `unsafe` site must
+//!    carry a written safety argument.
+//!
+//! `bp-lint` makes those contracts machine-checked *at the source
+//! level*: a hand-rolled, dependency-free scanner (a real
+//! [`lexer`] that skips comments, strings, raw strings, and char
+//! literals — property-tested so lints never fire inside them) feeds a
+//! rule engine with per-file/per-span allowlisting via
+//! `// bp-lint: allow(<rule>, "<reason>")` annotations (see
+//! [`annotations`]).
+//!
+//! Rule families (see [`rules::Rule`]):
+//!
+//! | Rule | Guards | Scope |
+//! |------|--------|-------|
+//! | `unsafe-audit` | every `unsafe` has a `// SAFETY:`/`# Safety` justification; inventory rendered to `UNSAFE_AUDIT.md` | whole workspace, not waivable |
+//! | `determinism` | no `HashMap`/`HashSet`/`Instant`/`SystemTime`/`std::env`/`{:?}`-float formatting | artifact modules |
+//! | `hot-path-alloc` | no `Vec::new`/`vec!`/`Box::new`/`.collect()`/`.clone()`/`format!`/… | declared-hot modules |
+//! | `panic-surface` | no `unwrap`/`expect`/`panic!` outside tests | validate-then-build modules |
+//!
+//! The module lists live in [`rules::default_policy`]; the CLI entry
+//! point is `bp lint [--json] [--fix-audit]`, gated in CI next to the
+//! runtime determinism smokes it complements.
+
+#![warn(missing_docs)]
+
+pub mod annotations;
+pub mod audit;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use annotations::{Allow, AllowScope};
+pub use audit::{render_audit, unsafe_sites, UnsafeKind, UnsafeSite};
+pub use engine::{
+    crate_of, find_workspace_root, lint_source, lint_workspace, lint_workspace_with,
+    workspace_files, Diagnostic, FileOutcome, LintReport,
+};
+pub use lexer::{LexedFile, Segment, SegmentKind};
+pub use rules::{default_policy, Policy, Rule};

@@ -1,0 +1,150 @@
+//! Property tests for the lint lexer: the blanked-code invariant that
+//! makes every rule sound (nothing inside a comment, string, raw
+//! string, or char literal ever surfaces in the code view), plus
+//! totality and determinism on adversarial input.
+
+use bp_lint::{LexedFile, SegmentKind};
+use proptest::prelude::*;
+
+/// Code fillers with no banned substrings of their own.
+const CODE: &[&str] = &[
+    "fn f() { let x = 1; }",
+    "mod m {}",
+    "let y = x + 1;",
+    "struct S;",
+    "impl S { fn g(&self) -> u8 { 0 } }",
+];
+
+/// Banned-token text that must never leak out of a non-code segment.
+const HIDDEN: &[&str] = &[
+    "Vec::new()",
+    ".unwrap()",
+    "HashMap",
+    "unsafe",
+    ".collect()",
+    "Instant::now()",
+];
+
+/// Wraps `hidden` in the non-code construct selected by `wrap`.
+fn piece(wrap: u64, hidden: &str, code: &str) -> String {
+    match wrap {
+        0 => code.to_owned(),
+        1 => format!("// {hidden}\n"),
+        2 => format!("/* {hidden} */"),
+        3 => format!("/* outer /* {hidden} */ inner */"),
+        4 => format!("let s = \"{hidden}\";"),
+        5 => format!("let r = r#\"{hidden}\"#;"),
+        6 => format!("let r = r##\"quote \"# then {hidden}\"##;"),
+        _ => format!("let c = 'V'; // {hidden}\n"),
+    }
+}
+
+fn assert_lex_invariants(lexed: &LexedFile) {
+    assert_eq!(lexed.code.len(), lexed.src.len(), "blanking changed length");
+    for (i, (s, c)) in lexed.src.bytes().zip(lexed.code.bytes()).enumerate() {
+        assert_eq!(
+            s == b'\n',
+            c == b'\n',
+            "newline mismatch at byte {i}: src {s:#x} vs code {c:#x}"
+        );
+    }
+    let mut prev_end = 0usize;
+    for seg in &lexed.segments {
+        assert!(seg.start >= prev_end, "segments overlap or are unsorted");
+        assert!(seg.end <= lexed.src.len(), "segment out of bounds");
+        assert!(seg.start < seg.end, "empty segment");
+        prev_end = seg.end;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Banned tokens buried in comments (line, block, nested), strings,
+    /// and raw strings never surface in the blanked code view, and
+    /// blanking preserves byte length and every newline position.
+    #[test]
+    fn hidden_tokens_never_surface(
+        picks in proptest::collection::vec((0u64..8, 0u64..6, 0u64..5), 0..24),
+    ) {
+        let src: String = picks
+            .iter()
+            .map(|&(wrap, h, c)| piece(wrap, HIDDEN[h as usize], CODE[c as usize]))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let lexed = LexedFile::lex(&src);
+        assert_lex_invariants(&lexed);
+        for needle in HIDDEN {
+            prop_assert!(
+                !lexed.code.contains(needle),
+                "{needle} leaked into the code view of {src:?}"
+            );
+        }
+    }
+
+    /// The lexer is total and deterministic on arbitrary byte salad
+    /// built from its trickiest characters (quote kinds, slashes,
+    /// stars, hashes, raw prefixes, newlines, escapes).
+    #[test]
+    fn lexer_is_total_and_deterministic_on_noise(
+        noise in "[abr#\"'/\\*{}()= \n0-9]{0,80}",
+    ) {
+        let a = LexedFile::lex(&noise);
+        assert_lex_invariants(&a);
+        let b = LexedFile::lex(&noise);
+        prop_assert_eq!(format!("{:?}", a.segments), format!("{:?}", b.segments));
+        prop_assert_eq!(&a.code, &b.code);
+    }
+
+    /// Lifetimes are never mistaken for char literals; real char
+    /// literals (including escaped and multibyte) always are.
+    #[test]
+    fn char_literals_vs_lifetimes(name in "[a-z]{1,6}") {
+        let lifetimes = format!("fn f<'{name}>(x: &'{name} u8) -> &'{name} u8 {{ x }}");
+        let lexed = LexedFile::lex(&lifetimes);
+        prop_assert!(
+            lexed.segments.iter().all(|s| s.kind != SegmentKind::Char),
+            "lifetime parsed as char literal in {lifetimes:?}"
+        );
+
+        for lit in ["'V'", "'\\n'", "'\\u{1F600}'", "'\u{00e9}'"] {
+            let src = format!("let {name} = {lit};");
+            let lexed = LexedFile::lex(&src);
+            let chars: Vec<_> = lexed
+                .segments
+                .iter()
+                .filter(|s| s.kind == SegmentKind::Char)
+                .collect();
+            prop_assert_eq!(chars.len(), 1, "{}", &src);
+        }
+    }
+
+    /// Raw strings with any hash depth are one segment covering the
+    /// whole literal, and their content (including embedded quotes and
+    /// shallower hash runs) is fully blanked.
+    #[test]
+    fn raw_strings_blank_at_every_hash_depth(
+        hashes in 0u64..4,
+        filler in "[a-z ]{0,20}",
+    ) {
+        let fence = "#".repeat(hashes as usize);
+        // Embed a quote+shallower fence so the closer is ambiguous to
+        // a naive scanner.
+        let inner = if hashes > 0 {
+            format!("{filler}\"{}unsafe {filler}", "#".repeat(hashes as usize - 1))
+        } else {
+            format!("{filler}unsafe{filler}")
+        };
+        let src = format!("let r = r{fence}\"{inner}\"{fence}; fn g() {{}}");
+        let lexed = LexedFile::lex(&src);
+        assert_lex_invariants(&lexed);
+        let raws: Vec<_> = lexed
+            .segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::RawStr)
+            .collect();
+        prop_assert_eq!(raws.len(), 1, "{}", &src);
+        prop_assert!(!lexed.code.contains("unsafe"), "{}", &src);
+        prop_assert!(lexed.code.contains("fn g()"), "{}", &src);
+    }
+}

@@ -48,6 +48,7 @@ pub struct PerceptronConfig {
 impl PerceptronConfig {
     /// A ~96 Kbit hashed perceptron: 8 tables of 2K 6-bit weights over
     /// history segments 0..256.
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold; runs once per predictor, never per branch")
     pub fn base() -> Self {
         PerceptronConfig {
             log_entries: 11,
@@ -63,6 +64,7 @@ impl PerceptronConfig {
 
     /// The base perceptron plus both IMLI components (the paper's "any
     /// neural-inspired predictor" claim).
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold; runs once per predictor, never per branch")
     pub fn imli() -> Self {
         PerceptronConfig {
             imli: Some(ImliConfig::default()),
@@ -80,6 +82,7 @@ impl PerceptronConfig {
     /// [`PerceptronConfig::check`].
     pub fn validate(&self) {
         if let Err(e) = self.check() {
+            // bp-lint: allow(panic-surface, "documented legacy panicking API; the validate-then-build path uses the non-panicking check()")
             panic!("{e}");
         }
     }
@@ -122,6 +125,7 @@ impl PredictorConfig for PerceptronConfig {
         self.check()
     }
 
+    // bp-lint: allow-item(hot-path-alloc, "build() constructs a predictor once per run; the hot path is inside the built object")
     fn build(&self) -> Box<dyn ConditionalPredictor + Send> {
         Box::new(HashedPerceptron::new(self.clone()))
     }
@@ -153,6 +157,7 @@ impl PredictorConfig for PerceptronConfig {
             )
     }
 
+    // bp-lint: allow-item(hot-path-alloc, "config-file parsing is cold, once per run")
     fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
         value.expect_keys(
             "perceptron config",
@@ -209,6 +214,7 @@ impl HashedPerceptron {
     /// # Panics
     ///
     /// Panics if the configuration fails [`PerceptronConfig::validate`].
+    // bp-lint: allow-item(hot-path-alloc, "table construction is cold; steady-state predict/update is allocation-free (tests/hotpath_allocations.rs)")
     pub fn new(config: PerceptronConfig) -> Self {
         config.validate();
         let max_segment = config.segments.iter().copied().max().unwrap_or(1);
@@ -325,6 +331,7 @@ impl ConditionalPredictor for HashedPerceptron {
     }
 
     fn update(&mut self, record: &BranchRecord) {
+        // bp-lint: allow(panic-surface, "CBP protocol contract: update() without a pending predict() is caller error, not data-dependent")
         let (ctx, sum) = self.lookup.take().expect("update without pending predict");
         let taken = record.taken;
         let mispredicted = self.last_pred != taken;
@@ -368,6 +375,7 @@ impl ConditionalPredictor for HashedPerceptron {
 }
 
 impl StorageBudget for HashedPerceptron {
+    // bp-lint: allow-item(hot-path-alloc, "storage accounting is reporting-time only, never on the predict/update path")
     fn storage_items(&self) -> Vec<StorageItem> {
         let mut items: Vec<StorageItem> = (0..self.tables.tables())
             .map(|i| {

@@ -97,6 +97,7 @@ impl fmt::Display for Mpki {
 /// [`simulate_stream`], minus the per-record stream-cursor overhead,
 /// and bit-identical to it on the equivalent stream (the lookahead
 /// peek is `block[i + 1]` either way).
+// bp-lint: allow-item(hot-path-alloc, "per-run setup and result assembly, once per benchmark; the per-branch loop is drive_block, which is allocation-free (tests/hotpath_allocations.rs)")
 pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
     let records = trace.records();
     let mut stats = PredictorStats::default();
@@ -121,6 +122,7 @@ pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Tra
 /// it runs a benchmark of any length in O(1) memory. Produces
 /// bit-identical [`SimResult`]s to [`simulate`] on the materialized
 /// equivalent of the same stream.
+// bp-lint: allow-item(hot-path-alloc, "per-run setup and result assembly, once per benchmark; the per-branch loop is drive_block, which is allocation-free (tests/hotpath_allocations.rs)")
 pub fn simulate_stream<P, S>(predictor: &mut P, mut stream: S) -> SimResult
 where
     P: ConditionalPredictor + ?Sized,
@@ -248,6 +250,7 @@ pub fn drive_block<P: ConditionalPredictor + ?Sized>(
 /// over equal streams.
 ///
 /// Returns one [`SimResult`] per predictor, in input order.
+// bp-lint: allow-item(hot-path-alloc, "per-run block buffer and result assembly, amortized over whole blocks; the per-branch loop is drive_block, which is allocation-free")
 pub fn simulate_stream_multi<S>(
     predictors: &mut [Box<dyn ConditionalPredictor + Send>],
     mut stream: S,

@@ -162,11 +162,13 @@ impl<K: Copy> Best<K> {
     }
 
     /// The selected knobs: the quality winner within the tolerance
-    /// window, or the nearest-storage fallback.
-    fn take(self) -> K {
+    /// window, or the nearest-storage fallback. Errs if the candidate
+    /// lattice produced no offer at all (a solver bug, surfaced as a
+    /// [`ConfigError`] instead of a panic so `solve_budget` reports it).
+    fn take(self, family: &str) -> Result<K, ConfigError> {
         self.win_knobs
             .or(self.near_knobs)
-            .expect("non-empty lattice")
+            .ok_or_else(|| ConfigError::new(format!("{family}: empty candidate lattice")))
     }
 }
 
@@ -186,17 +188,17 @@ fn neural_quality(tables: usize, counter_bits: usize, log_entries: usize) -> i64
     -((tables as i64 - 8).abs() * 100 + (counter_bits as i64 - 6).abs() * 10) + log_entries as i64
 }
 
-fn solve_bimodal(target_bits: u64) -> BimodalConfig {
+fn solve_bimodal(target_bits: u64) -> Result<BimodalConfig, ConfigError> {
     let mut best = Best::new(target_bits);
     for log_entries in 2..=24usize {
         best.offer((1u64 << log_entries) * 2, 0, log_entries);
     }
-    BimodalConfig {
-        log_entries: best.take(),
-    }
+    Ok(BimodalConfig {
+        log_entries: best.take("bimodal")?,
+    })
 }
 
-fn solve_gshare(target_bits: u64) -> GShareConfig {
+fn solve_gshare(target_bits: u64) -> Result<GShareConfig, ConfigError> {
     let mut best = Best::new(target_bits);
     for log_entries in 4..=24usize {
         let history_bits = (log_entries - 2).min(24);
@@ -206,14 +208,14 @@ fn solve_gshare(target_bits: u64) -> GShareConfig {
             (log_entries, history_bits),
         );
     }
-    let (log_entries, history_bits) = best.take();
-    GShareConfig {
+    let (log_entries, history_bits) = best.take("gshare")?;
+    Ok(GShareConfig {
         log_entries,
         history_bits,
-    }
+    })
 }
 
-fn solve_perceptron(target_bits: u64) -> PerceptronConfig {
+fn solve_perceptron(target_bits: u64) -> Result<PerceptronConfig, ConfigError> {
     let mut best = Best::new(target_bits);
     for tables in 2..=24usize {
         for weight_bits in 4..=7usize {
@@ -227,19 +229,19 @@ fn solve_perceptron(target_bits: u64) -> PerceptronConfig {
             }
         }
     }
-    let (tables, weight_bits, log_entries) = best.take();
+    let (tables, weight_bits, log_entries) = best.take("perceptron")?;
     let mut segments = vec![0];
     segments.extend(geometric_lengths(4, 256, tables - 1));
-    PerceptronConfig {
+    Ok(PerceptronConfig {
         log_entries,
         weight_bits,
         segments,
         name: format!("HP/{}Kb", (target_bits + 512) / 1024),
         ..PerceptronConfig::base()
-    }
+    })
 }
 
-fn solve_gehl(target_bits: u64, with_imli: bool) -> GehlConfig {
+fn solve_gehl(target_bits: u64, with_imli: bool) -> Result<GehlConfig, ConfigError> {
     let fixed = if with_imli { imli_bits() } else { 0 };
     let mut best = Best::new(target_bits);
     for tables in 2..=40usize {
@@ -254,16 +256,16 @@ fn solve_gehl(target_bits: u64, with_imli: bool) -> GehlConfig {
             }
         }
     }
-    let (num_tables, counter_bits, log_entries) = best.take();
+    let (num_tables, counter_bits, log_entries) = best.take("gehl")?;
     let suffix = if with_imli { "+IMLI" } else { "" };
-    GehlConfig {
+    Ok(GehlConfig {
         log_entries,
         counter_bits,
         num_tables,
         imli: with_imli.then(ImliConfig::default),
         name: format!("GEHL{suffix}/{}Kb", (target_bits + 512) / 1024),
         ..GehlConfig::base()
-    }
+    })
 }
 
 /// Which optional components a solved TAGE configuration carries.
@@ -315,7 +317,7 @@ fn tage_candidate(
     }
 }
 
-fn solve_tage(target_bits: u64, variant: TageVariant) -> TageScConfig {
+fn solve_tage(target_bits: u64, variant: TageVariant) -> Result<TageScConfig, ConfigError> {
     let mut best = Best::new(target_bits);
     let loop_logs: &[usize] = if variant.local { &[2, 4, 6] } else { &[0] };
     for n_tables in 2..=12usize {
@@ -336,18 +338,18 @@ fn solve_tage(target_bits: u64, variant: TageVariant) -> TageScConfig {
             }
         }
     }
-    let knobs = best.take();
+    let knobs = best.take("tage")?;
     let label = match (variant.local, variant.imli) {
         (false, false) => "TAGE-GSC",
         (false, true) => "TAGE-GSC+IMLI",
         (true, false) => "TAGE-SC-L",
         (true, true) => "TAGE-SC-L+IMLI",
     };
-    tage_candidate(
+    Ok(tage_candidate(
         variant,
         knobs,
         format!("{label}/{}Kb", (target_bits + 512) / 1024),
-    )
+    ))
 }
 
 /// Solves one sweep family for a target budget: returns a configuration
@@ -361,41 +363,41 @@ fn solve_tage(target_bits: u64, variant: TageVariant) -> TageScConfig {
 /// storage than `solve_budget(f, b)` (monotonicity; property-tested).
 pub fn solve_budget(family: &str, target_bits: u64) -> Result<RegistryConfig, ConfigError> {
     let config = match family {
-        "bimodal" => RegistryConfig::plain(FamilyConfig::Bimodal(solve_bimodal(target_bits))),
-        "gshare" => RegistryConfig::plain(FamilyConfig::GShare(solve_gshare(target_bits))),
+        "bimodal" => RegistryConfig::plain(FamilyConfig::Bimodal(solve_bimodal(target_bits)?)),
+        "gshare" => RegistryConfig::plain(FamilyConfig::GShare(solve_gshare(target_bits)?)),
         "perceptron" => {
-            RegistryConfig::plain(FamilyConfig::Perceptron(solve_perceptron(target_bits)))
+            RegistryConfig::plain(FamilyConfig::Perceptron(solve_perceptron(target_bits)?))
         }
-        "gehl" => RegistryConfig::plain(FamilyConfig::Gehl(solve_gehl(target_bits, false))),
-        "gehl+imli" => RegistryConfig::plain(FamilyConfig::Gehl(solve_gehl(target_bits, true))),
+        "gehl" => RegistryConfig::plain(FamilyConfig::Gehl(solve_gehl(target_bits, false)?)),
+        "gehl+imli" => RegistryConfig::plain(FamilyConfig::Gehl(solve_gehl(target_bits, true)?)),
         "tage-gsc" => RegistryConfig::plain(FamilyConfig::TageSc(solve_tage(
             target_bits,
             TageVariant {
                 imli: false,
                 local: false,
             },
-        ))),
+        )?)),
         "tage-gsc+imli" => RegistryConfig::plain(FamilyConfig::TageSc(solve_tage(
             target_bits,
             TageVariant {
                 imli: true,
                 local: false,
             },
-        ))),
+        )?)),
         "tage-sc-l" => RegistryConfig::plain(FamilyConfig::TageSc(solve_tage(
             target_bits,
             TageVariant {
                 imli: false,
                 local: true,
             },
-        ))),
+        )?)),
         "tage-sc-l+imli" => RegistryConfig::plain(FamilyConfig::TageSc(solve_tage(
             target_bits,
             TageVariant {
                 imli: true,
                 local: true,
             },
-        ))),
+        )?)),
         other => {
             return Err(ConfigError::new(format!(
                 "unknown sweep family `{other}` (available: {})",

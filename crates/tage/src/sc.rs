@@ -125,6 +125,7 @@ impl ScConfig {
     /// The non-panicking twin is [`ScConfig::check`].
     pub fn validate(&self) {
         if let Err(e) = self.check() {
+            // bp-lint: allow(panic-surface, "documented legacy panicking API; the validate-then-build path uses the non-panicking check()")
             panic!("{e}");
         }
     }
@@ -306,7 +307,7 @@ const SC_MAX_ADDENDS: usize = 2 + 64 + 64;
 /// phases over these banks — an *index phase* that computes every row
 /// address into a fixed-size buffer, then a *gather phase* that reads
 /// the selected counters into a flat `i8` buffer and reduces it with
-/// the vector-friendly [`sum_centered`] kernel. The phase split keeps
+/// the vector-friendly [`bp_components::sum_centered`] kernel. The phase split keeps
 /// the address math and the dependent row reads in separate loops, and
 /// the final reduction is a single fixed-stride kernel instead of a
 /// chain of per-table reads.
@@ -423,7 +424,7 @@ impl StatisticalCorrector {
     /// Two-phase over the counter banks: the index phase fills a
     /// fixed-size `(bank row, index)` buffer, the gather phase reads
     /// every selected counter into a flat `i8` buffer, and the
-    /// [`sum_centered`] kernel reduces it. The kernel computes
+    /// [`bp_components::sum_centered`] kernel reduces it. The kernel computes
     /// `Σ(2c+1)` as `2·Σc + n` in exact i32 arithmetic, so the sum is
     /// bit-identical to the per-table read chain it replaces.
     pub fn predict(
@@ -498,6 +499,7 @@ impl StatisticalCorrector {
     ///
     /// Panics if no prediction is pending.
     pub fn update(&mut self, taken: bool) {
+        // bp-lint: allow(panic-surface, "CBP protocol contract: update() without a pending predict() is caller error, not data-dependent")
         let lookup = self.lookup.take().expect("update without pending predict");
         let ctx = lookup.ctx;
         let mispredicted = lookup.pred != taken;

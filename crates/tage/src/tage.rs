@@ -33,6 +33,7 @@ impl Default for TageConfig {
     /// 228 Kbit TAGE-GSC: 12 tagged tables of 1K entries, geometric
     /// history lengths 4→640, 8-15 bit tags, 8K-entry shared-hysteresis
     /// bimodal base.
+    // bp-lint: allow-item(hot-path-alloc, "config construction is cold; the per-branch path never builds a TageConfig")
     fn default() -> Self {
         TageConfig {
             base_log_entries: 13,
@@ -84,6 +85,7 @@ impl TageConfig {
     /// [`TageConfig::check`].
     pub fn validate(&self) {
         if let Err(e) = self.check() {
+            // bp-lint: allow(panic-surface, "documented legacy panicking API; the validate-then-build path uses the non-panicking check()")
             panic!("{e}");
         }
     }
@@ -95,6 +97,7 @@ impl TageConfig {
             return Err("at least one tagged table".into());
         }
         if self.tag_bits.len() > MAX_TAGE_TABLES {
+            // bp-lint: allow(hot-path-alloc, "validation error path, runs once per config, never per branch")
             return Err(format!("at most {MAX_TAGE_TABLES} tagged tables").into());
         }
         if !(2..=24).contains(&self.tagged_log_entries) {
@@ -333,6 +336,7 @@ impl Tage {
     /// # Panics
     ///
     /// Panics if the configuration fails [`TageConfig::validate`].
+    // bp-lint: allow-item(hot-path-alloc, "table construction is cold; steady-state predict/update is allocation-free (tests/hotpath_allocations.rs)")
     pub fn new(config: TageConfig) -> Self {
         config.validate();
         let capacity = (config.max_history + 1).next_power_of_two().max(2048);
@@ -597,6 +601,7 @@ impl Tage {
     ///
     /// Panics if no lookup is pending.
     pub fn update(&mut self, pc: u64, taken: bool) {
+        // bp-lint: allow(panic-surface, "CBP protocol contract documented above: update() without a pending lookup() is caller error, not data-dependent")
         let lookup = self.lookup.take().expect("update without pending lookup");
         let mispredicted = lookup.pred != taken;
 
@@ -701,6 +706,7 @@ impl Tage {
     /// Itemized storage: the shared-hysteresis base, every tagged bank
     /// (entries × (counter + useful + tag) bits), and the `use_alt_on_na`
     /// register.
+    // bp-lint: allow-item(hot-path-alloc, "storage accounting is reporting-time only, never on the predict/update path")
     pub fn storage_items(&self) -> Vec<StorageItem> {
         let mut items = vec![StorageItem::new("base", self.base.storage_bits())];
         let entries = 1u64 << self.config.tagged_log_entries;

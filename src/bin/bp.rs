@@ -45,12 +45,20 @@
 //!                               (predict/update records/sec per
 //!                               predictor family; per-cell vs fused
 //!                               grid wall time); emits BENCH_sim.json
+//! bp lint [--json] [--fix-audit]
+//!                               workspace invariant lint gate:
+//!                               unsafe-audit, determinism,
+//!                               hot-path-alloc, and panic-surface
+//!                               rules over every workspace source
+//!                               file; --fix-audit regenerates
+//!                               UNSAFE_AUDIT.md
 //! ```
 
 use imli_repro::bench::sim_bench::{
     parse_predictor_throughputs, run_sim_bench, throughput_regressions, DEFAULT_REPS,
 };
 use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
+use imli_repro::lint::{find_workspace_root, lint_workspace};
 use imli_repro::sim::{
     family_members, lookup, make_predictor, paper_report_predictors, parse_predictor_file,
     parse_sweep_file, registry, run_report, run_sweep, simulate, simulate_stream, Engine,
@@ -77,7 +85,8 @@ fn usage() -> ExitCode {
          bp sweep <suite> [--budgets 8,16,...] [--families a,b,c] [--config FILE] [--jobs N] \
          [--instr N] [--json] [--out-dir D] [--quick]\n  \
          bp bench [--quick] [--instr N] [--out FILE]\n  \
-         bp bench --sim [--quick] [--instr N] [--out FILE] [--baseline FILE]"
+         bp bench --sim [--quick] [--instr N] [--out FILE] [--baseline FILE]\n  \
+         bp lint [--json] [--fix-audit]"
     );
     ExitCode::FAILURE
 }
@@ -220,6 +229,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
         ["report", suite, ..] => run_report_cmd(suite, &args[2..]),
         ["sweep", suite, ..] => run_sweep_cmd(suite, &args[2..]),
         ["bench", ..] => run_bench(&args[1..]),
+        ["lint", ..] => run_lint(&args[1..]),
         ["compare", bench] | ["compare", bench, _] => {
             let instructions = args
                 .get(2)
@@ -695,6 +705,78 @@ fn run_sweep_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
 }
 
 /// Parses and runs `bp bench [--quick] [--instr N] [--out FILE]`: the
+/// `bp lint [--json] [--fix-audit]`: the workspace invariant lint gate.
+///
+/// Scans every workspace `.rs` file (excluding `vendor/` and `target/`)
+/// with the four rule families (unsafe-audit, determinism,
+/// hot-path-alloc, panic-surface), prints `file:line: rule: message`
+/// diagnostics, and checks that the committed `UNSAFE_AUDIT.md`
+/// matches the regenerated inventory (`--fix-audit` rewrites it
+/// instead). Exits nonzero on any violation, so CI can gate on it.
+fn run_lint(flags: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut fix_audit = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--fix-audit" => fix_audit = true,
+            other => return Err(format!("unknown bp lint flag: {other}")),
+        }
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = find_workspace_root(&cwd)
+        .ok_or("bp lint must run inside the workspace (no [workspace] Cargo.toml found)")?;
+    let mut report = lint_workspace(&root)?;
+
+    let audit = report.render_audit();
+    let audit_path = root.join("UNSAFE_AUDIT.md");
+    if fix_audit {
+        std::fs::write(&audit_path, &audit)
+            .map_err(|e| format!("cannot write {}: {e}", audit_path.display()))?;
+    } else {
+        let committed = std::fs::read_to_string(&audit_path).unwrap_or_default();
+        if committed != audit {
+            report.diagnostics.push(imli_repro::lint::Diagnostic {
+                path: "UNSAFE_AUDIT.md".to_owned(),
+                line: 0,
+                rule: imli_repro::lint::Rule::UnsafeAudit,
+                message: if committed.is_empty() {
+                    "missing unsafe inventory; run `bp lint --fix-audit` and commit it".to_owned()
+                } else {
+                    "inventory drifted from the source tree; run `bp lint --fix-audit` \
+                     and review the diff"
+                        .to_owned()
+                },
+            });
+            report.diagnostics.sort();
+        }
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "bp lint: {} files scanned, {} unsafe sites audited, {} violation(s){}",
+            report.files_scanned,
+            report.unsafe_sites.len(),
+            report.diagnostics.len(),
+            if fix_audit {
+                format!("; wrote {}", audit_path.display())
+            } else {
+                String::new()
+            }
+        );
+    }
+    if report.diagnostics.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} lint violation(s)", report.diagnostics.len()))
+    }
+}
+
 /// trace-I/O throughput benchmark (format v1 vs v2), written as JSON to
 /// `BENCH_trace_io.json` (or `--out`) and summarized on stdout.
 ///

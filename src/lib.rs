@@ -20,7 +20,10 @@
 //!   experiment harnesses, and the attributed reporting layer behind
 //!   `bp report`,
 //! * [`mod@bench`] — experiment harness helpers and the trace-I/O
-//!   throughput benchmark behind `bp bench`.
+//!   throughput benchmark behind `bp bench`,
+//! * [`lint`] — the workspace invariant lint engine behind `bp lint`:
+//!   static enforcement of the unsafe-audit, artifact-determinism,
+//!   hot-path-allocation, and panic-surface contracts.
 //!
 //! See `ARCHITECTURE.md` at the repository root for the crate
 //! dependency graph and the trace → stream → engine → analysis →
@@ -45,6 +48,7 @@ pub use bp_bench as bench;
 pub use bp_components as components;
 pub use bp_gehl as gehl;
 pub use bp_history as history;
+pub use bp_lint as lint;
 pub use bp_perceptron as perceptron;
 pub use bp_sim as sim;
 pub use bp_tage as tage;

@@ -19,23 +19,38 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through wrapper around the `System` allocator
+// plus a relaxed atomic increment; every GlobalAlloc contract
+// obligation (layout validity, pointer provenance) is delegated
+// unchanged to `System`, which upholds it.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller obligations forwarded verbatim to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, passed through unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller obligations forwarded verbatim to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, passed through unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller obligations forwarded verbatim to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout`/`new_size` are the caller's, passed
+        // through unchanged; `ptr` was produced by this same allocator,
+        // which is `System` underneath.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller obligations forwarded verbatim to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator (`System` underneath)
+        // with the same `layout`, per the caller's contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -1,0 +1,54 @@
+//! Self-test: the committed tree is lint-clean and the committed
+//! `UNSAFE_AUDIT.md` matches what the scanner regenerates, so `bp lint`
+//! in CI can never fail on a tree where this test passed.
+
+use imli_repro::lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn committed_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace scan succeeds");
+    assert!(
+        report.diagnostics.is_empty(),
+        "committed tree has lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    assert!(
+        !report.unsafe_sites.is_empty(),
+        "the workspace has audited unsafe sites; finding none means the scanner broke"
+    );
+}
+
+#[test]
+fn committed_unsafe_audit_is_current() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace scan succeeds");
+    let committed = std::fs::read_to_string(root.join("UNSAFE_AUDIT.md"))
+        .expect("UNSAFE_AUDIT.md is committed");
+    assert_eq!(
+        committed,
+        report.render_audit(),
+        "UNSAFE_AUDIT.md is stale; run `bp lint --fix-audit` and commit the result"
+    );
+}
+
+#[test]
+fn every_unsafe_site_is_justified() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace scan succeeds");
+    for site in &report.unsafe_sites {
+        assert!(
+            site.justification.is_some(),
+            "{}:{} carries no SAFETY justification",
+            site.path,
+            site.line
+        );
+    }
+}
