@@ -146,6 +146,49 @@ impl PredictionAttribution {
             confidence,
         }
     }
+
+    /// Classifies one resolved, attributed prediction into the
+    /// provider/save/loss split every tally in the workspace uses
+    /// (the suite report's per-component summary and the scenario
+    /// layer's per-tenant tallies share this single definition, so the
+    /// split cannot drift between them):
+    ///
+    /// * a **save** is a correct prediction whose alternate path would
+    ///   have been wrong — the provider earned its storage on this
+    ///   branch;
+    /// * a **loss** is the reverse: the provider overrode a correct
+    ///   alternate. Both require a meaningful alternate
+    ///   ([`alternate`](Self::alternate) is `Some`).
+    pub fn classify(&self, pred: bool, taken: bool) -> AttributionOutcome {
+        let correct = pred == taken;
+        let (save, loss) = match self.alternate {
+            Some(alt) => {
+                let alt_correct = alt == taken;
+                (correct && !alt_correct, !correct && alt_correct)
+            }
+            None => (false, false),
+        };
+        AttributionOutcome {
+            correct,
+            high_confidence: self.confidence == ConfidenceBucket::High,
+            save,
+            loss,
+        }
+    }
+}
+
+/// The classification of one attributed prediction against its resolved
+/// outcome — see [`PredictionAttribution::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttributionOutcome {
+    /// The provided prediction matched the resolved direction.
+    pub correct: bool,
+    /// The provider reported [`ConfidenceBucket::High`].
+    pub high_confidence: bool,
+    /// Correct while the alternate path would have been wrong.
+    pub save: bool,
+    /// Wrong while the alternate path would have been correct.
+    pub loss: bool,
 }
 
 #[cfg(test)]
@@ -186,5 +229,28 @@ mod tests {
         assert_eq!(a.component, ProviderComponent::Unattributed);
         assert_eq!(a.alternate, None);
         assert_eq!(a.confidence.label(), "low");
+    }
+
+    #[test]
+    fn classify_save_loss_split() {
+        let with_alt = |alt| {
+            PredictionAttribution::new(
+                ProviderComponent::Tagged(3),
+                Some(alt),
+                ConfidenceBucket::High,
+            )
+        };
+        // Provider right, alternate wrong: a save.
+        let o = with_alt(false).classify(true, true);
+        assert!(o.correct && o.save && !o.loss && o.high_confidence);
+        // Provider wrong, alternate right: a loss.
+        let o = with_alt(true).classify(false, true);
+        assert!(!o.correct && !o.save && o.loss);
+        // Both agree: neither save nor loss.
+        let o = with_alt(true).classify(true, true);
+        assert!(o.correct && !o.save && !o.loss);
+        // No alternate: never a save or loss, whatever the outcome.
+        let o = PredictionAttribution::unattributed().classify(false, true);
+        assert!(!o.correct && !o.save && !o.loss && !o.high_confidence);
     }
 }

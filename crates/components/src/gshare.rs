@@ -77,6 +77,10 @@ impl ConditionalPredictor for GShare {
         self.history.push(record.taken);
     }
 
+    fn flush_history(&mut self) {
+        self.history.flush();
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -41,7 +41,9 @@ mod predictor;
 mod sum;
 mod threshold;
 
-pub use attribution::{ConfidenceBucket, PredictionAttribution, ProviderComponent};
+pub use attribution::{
+    AttributionOutcome, ConfidenceBucket, PredictionAttribution, ProviderComponent,
+};
 pub use bimodal::{Bimodal, BimodalTable};
 pub use budget::{StorageBudget, StorageItem};
 pub use config::{

@@ -73,6 +73,23 @@ pub trait ConditionalPredictor: StorageBudget {
     /// was just predicted. `record.taken` is the true direction.
     fn update(&mut self, record: &BranchRecord);
 
+    /// Erases the predictor's *history* state — global/folded/path
+    /// registers, local-history tables, IMLI counters — while keeping
+    /// its learned tables (counters, tags, useful bits, weights).
+    ///
+    /// This models a partial context-switch flush: an OS switch destroys
+    /// the speculative fetch-engine state but leaves the large SRAM
+    /// prediction tables (whose contents the incoming tenant then
+    /// aliases into). A full flush is modeled by rebuilding the
+    /// predictor from its configuration instead — see the scenario
+    /// driver in `bp-sim`. Implementations must be allocation-free
+    /// (zero existing buffers only), so scenario drive loops stay
+    /// allocation-free in steady state, and must leave the predictor in
+    /// a state it could have reached from construction (so subsequent
+    /// predict/update behavior is well-defined). The default does
+    /// nothing, which is exact for history-less predictors (bimodal).
+    fn flush_history(&mut self) {}
+
     /// Reports a non-conditional branch (jump, call, return, indirect).
     fn notify_nonconditional(&mut self, record: &BranchRecord) {
         let _ = record;
@@ -163,6 +180,10 @@ impl ConditionalPredictor for Box<dyn ConditionalPredictor + Send> {
 
     fn update(&mut self, record: &BranchRecord) {
         (**self).update(record)
+    }
+
+    fn flush_history(&mut self) {
+        (**self).flush_history()
     }
 
     fn notify_nonconditional(&mut self, record: &BranchRecord) {

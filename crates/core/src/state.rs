@@ -179,6 +179,17 @@ impl ImliState {
         self.config.checkpoint_bits()
     }
 
+    /// Erases the fetch-engine history state (a context-switch flush):
+    /// the IMLI counter and the outer-history PIPE both reset to 0. The
+    /// outer-history *bit table* and SIC/OH prediction tables survive —
+    /// the same asymmetry as [`ImliState::restore`] (§4.3.2): flushes
+    /// model losing the in-flight fetch state, while learned SRAM
+    /// content persists across the switch and aliases.
+    pub fn flush_history(&mut self) {
+        self.counter.set(0);
+        self.outer.set_pipe(0);
+    }
+
     /// Storage of the enabled structures in bits.
     pub fn storage_bits(&self) -> u64 {
         let mut bits = self.counter.bits() as u64;

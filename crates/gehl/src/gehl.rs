@@ -545,6 +545,16 @@ impl ConditionalPredictor for Gehl {
         self.history.push(taken, record.pc);
     }
 
+    fn flush_history(&mut self) {
+        self.history.flush();
+        if let Some(lh) = &mut self.local_history {
+            lh.clear();
+        }
+        if let Some(imli) = &mut self.imli {
+            imli.flush_history();
+        }
+    }
+
     fn notify_nonconditional(&mut self, record: &BranchRecord) {
         if let Some(imli) = &mut self.imli {
             imli.observe(record);

@@ -143,6 +143,20 @@ impl GlobalHistory {
         padded.reverse_bits() >> (64 - n as u32)
     }
 
+    /// Erases every recorded outcome (a context-switch flush): all bits
+    /// read back as not-taken, exactly as after construction.
+    ///
+    /// The monotonic head pointer is deliberately **kept**: checkpoints
+    /// taken before the flush stay restorable under the same
+    /// future/depth invariants as [`restore`](Self::restore), and
+    /// checkpoints taken after it can never alias pre-flush ones. Only
+    /// the buffer contents are cleared — post-restore reads then see
+    /// the flushed (all-zero) bits, which is the correct architectural
+    /// outcome: a flush destroys history, repair cannot resurrect it.
+    pub fn flush(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Takes a checkpoint: the current speculative head pointer.
     #[inline]
     pub fn checkpoint(&self) -> GlobalHistoryCheckpoint {
@@ -311,6 +325,63 @@ mod tests {
         let cp = h.checkpoint();
         let mut h2 = GlobalHistory::new(64);
         h2.restore(cp);
+    }
+
+    #[test]
+    fn flush_zeroes_bits_but_keeps_head() {
+        let mut h = GlobalHistory::new(64);
+        for _ in 0..20 {
+            h.push(true);
+        }
+        h.flush();
+        assert_eq!(h.pushes(), 20, "flush must not rewind the head");
+        for age in 0..64 {
+            assert!(!h.bit(age), "bit {age} survived the flush");
+        }
+        assert_eq!(h.low_bits(64), 0);
+        // Post-flush pushes behave normally.
+        h.push(true);
+        assert!(h.bit(0));
+        assert!(!h.bit(1));
+    }
+
+    #[test]
+    fn pre_flush_checkpoint_stays_restorable() {
+        // A checkpoint taken before a flush obeys the same restore
+        // invariants; the restored view sees the flushed (zero) bits.
+        let mut h = GlobalHistory::new(64);
+        for _ in 0..10 {
+            h.push(true);
+        }
+        let cp = h.checkpoint();
+        for _ in 0..30 {
+            h.push(true);
+        }
+        h.flush();
+        h.restore(cp);
+        assert_eq!(h.pushes(), 10);
+        assert!(
+            !h.bit(0),
+            "flush destroys history; repair cannot resurrect it"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong path longer")]
+    fn flush_does_not_relax_restore_depth_invariant() {
+        // Flushing at an exact capacity boundary must not make a
+        // too-deep restore legal: the head is monotonic across flushes.
+        let mut h = GlobalHistory::new(64);
+        h.push(true);
+        let cp = h.checkpoint();
+        for _ in 0..32 {
+            h.push(false);
+        }
+        h.flush();
+        for _ in 0..32 {
+            h.push(false);
+        }
+        h.restore(cp); // 64 == capacity pushes since cp: still rejected
     }
 
     #[test]

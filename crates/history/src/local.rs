@@ -80,6 +80,12 @@ impl LocalHistoryTable {
         self.entries[idx] = ((self.entries[idx] << 1) | u32::from(taken)) & mask;
     }
 
+    /// Erases every per-branch history (a context-switch flush): all
+    /// entries read back as 0, exactly as after construction.
+    pub fn clear(&mut self) {
+        self.entries.fill(0);
+    }
+
     /// Storage cost in bits.
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * u64::from(self.width)
@@ -126,6 +132,18 @@ mod tests {
     #[should_panic(expected = "width")]
     fn rejects_zero_width() {
         let _ = LocalHistoryTable::new(64, 0);
+    }
+
+    #[test]
+    fn clear_resets_every_entry() {
+        let mut t = LocalHistoryTable::new(64, 8);
+        for pc in [0x100u64, 0x2040, 0x7777] {
+            t.update(pc, true);
+        }
+        t.clear();
+        for pc in [0x100u64, 0x2040, 0x7777] {
+            assert_eq!(t.history(pc), 0);
+        }
     }
 
     #[test]

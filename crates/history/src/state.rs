@@ -278,6 +278,26 @@ impl HistoryState {
         self.comps.len()
     }
 
+    /// Erases every component of the bundle (a context-switch flush):
+    /// the global buffer's bits, every fold register, and the path
+    /// register all read back as after construction.
+    ///
+    /// Allocation-free — only existing buffers are zeroed — so scenario
+    /// drive loops may flush in steady state. The global head pointer is
+    /// deliberately kept (see [`GlobalHistory::flush`]): checkpoints
+    /// taken before the flush remain restorable under the usual depth
+    /// invariants, and restoring one reproduces the *flushed* view, the
+    /// correct architectural outcome. The fold registers equal their
+    /// naive recomputation over the (now all-zero) global buffer, which
+    /// is 0 — the post-flush invariant the property tests pin.
+    pub fn flush(&mut self) {
+        self.global.flush();
+        self.comps.fill(0);
+        self.evicted.fill(0);
+        self.evicted_out.fill(0);
+        self.path.set_value(0);
+    }
+
     /// Takes a checkpoint of the entire bundle.
     // bp-lint: allow-item(hot-path-alloc, "checkpoint capture is wrong-path recovery, off the per-branch predict/update path")
     pub fn checkpoint(&self) -> HistoryCheckpoint {
@@ -445,6 +465,82 @@ mod tests {
         assert_ne!(hs.path(), path_before);
     }
 
+    #[test]
+    fn flush_resets_folds_path_and_global_bits() {
+        let mut hs = HistoryState::new(256, 16);
+        let f1 = hs.add_fold(60, 11);
+        let f2 = hs.add_fold(13, 7);
+        drive(
+            &mut hs,
+            &[(true, 0x10), (false, 0x20), (true, 0x32), (true, 0x44)],
+        );
+        let pushes = hs.global().pushes();
+        hs.flush();
+        assert_eq!(hs.fold(f1), 0);
+        assert_eq!(hs.fold(f2), 0);
+        assert_eq!(hs.path(), 0);
+        assert_eq!(hs.global().low_bits(64), 0);
+        assert_eq!(hs.global().pushes(), pushes, "flush keeps the head");
+    }
+
+    #[test]
+    fn flush_at_exact_capacity_boundary_keeps_folds_consistent() {
+        // The PR 2 off-by-one class: exercise flushes landing exactly on
+        // multiples of the global capacity, where the circular buffer
+        // wraps onto slot 0, and check the folds still equal their naive
+        // recomputation afterwards.
+        let capacity = 64;
+        let mut hs = HistoryState::new(capacity, 16);
+        let f = hs.add_fold(31, 9);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for round in 1..=3 {
+            for _ in 0..capacity {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                hs.push(x & 1 == 1, x >> 8);
+            }
+            // Each round pushes `capacity` here plus `capacity` in the
+            // re-align below, so the boundary lands at an odd multiple.
+            assert_eq!(hs.global().pushes(), ((2 * round - 1) * capacity) as u64);
+            hs.flush();
+            assert_eq!(hs.fold(f), 0, "round {round}");
+            // Post-flush pushes must keep matching the from-scratch
+            // reference over the flushed buffer.
+            for _ in 0..17 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                hs.push(x & 1 == 1, x >> 8);
+            }
+            let global = hs.global().clone();
+            let naive = FoldedHistory::new(31, 9).fold_naive(|age| global.bit(age));
+            assert_eq!(hs.fold(f), naive, "round {round}");
+            // Re-align to the capacity boundary for the next round.
+            for _ in 0..(capacity - 17) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                hs.push(x & 1 == 1, x >> 8);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_flush_checkpoint_restores_to_flushed_view() {
+        let mut hs = HistoryState::new(256, 16);
+        let f = hs.add_fold(31, 9);
+        drive(&mut hs, &[(true, 0x10), (true, 0x20), (false, 0x30)]);
+        let cp = hs.checkpoint();
+        drive(&mut hs, &[(false, 0x40), (true, 0x50)]);
+        hs.flush();
+        hs.restore(&cp);
+        // The head rewinds but the destroyed bits stay destroyed; the
+        // fold registers come back from the checkpoint by definition.
+        assert_eq!(hs.global().low_bits(31), 0);
+        assert_ne!(hs.fold(f), 0);
+    }
+
     proptest! {
         /// After any stream, every fold equals its from-scratch naive
         /// recomputation over the global buffer.
@@ -495,6 +591,32 @@ mod tests {
             for (id, f) in ids.iter().zip(&scalar) {
                 prop_assert_eq!(hs.fold(*id), f.value());
             }
+        }
+
+        /// Flushing at an arbitrary point and continuing keeps every
+        /// fold equal to its from-scratch recomputation over the
+        /// (flushed) global buffer — the incremental recurrence and the
+        /// zeroed buffer stay mutually consistent.
+        #[test]
+        fn folds_match_naive_across_flush(
+            pre in proptest::collection::vec((any::<bool>(), 0u64..1024), 0..300),
+            post in proptest::collection::vec((any::<bool>(), 0u64..1024), 0..100),
+            olen in 1usize..60,
+            clen in 1usize..14,
+        ) {
+            let mut hs = HistoryState::new(256, 16);
+            let f = hs.add_fold(olen, clen);
+            for &(t, pc) in &pre {
+                hs.push(t, pc);
+            }
+            hs.flush();
+            for &(t, pc) in &post {
+                hs.push(t, pc);
+            }
+            let global = hs.global().clone();
+            let naive = FoldedHistory::new(olen, clen)
+                .fold_naive(|age| global.bit(age));
+            prop_assert_eq!(hs.fold(f), naive);
         }
 
         /// Restoring a checkpoint after arbitrary wrong-path pushes

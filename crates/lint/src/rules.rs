@@ -221,9 +221,11 @@ pub fn default_policy() -> Policy {
             "crates/components/src/kernel.rs",
             "crates/history/src/state.rs",
             "crates/sim/src/run.rs",
+            "crates/workloads/src/combinators.rs",
         ],
         deterministic_modules: &[
             "crates/sim/src/report.rs",
+            "crates/sim/src/scenario.rs",
             "crates/sim/src/sweep.rs",
             "crates/components/src/config.rs",
             "crates/bench/src/sim_bench.rs",

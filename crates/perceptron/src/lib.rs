@@ -353,6 +353,13 @@ impl ConditionalPredictor for HashedPerceptron {
         self.history.push(taken, record.pc);
     }
 
+    fn flush_history(&mut self) {
+        self.history.flush();
+        if let Some(imli) = &mut self.imli {
+            imli.flush_history();
+        }
+    }
+
     fn notify_nonconditional(&mut self, record: &BranchRecord) {
         if let Some(imli) = &mut self.imli {
             imli.observe(record);

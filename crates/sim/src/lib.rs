@@ -35,6 +35,7 @@ mod engine;
 mod registry;
 mod report;
 mod run;
+mod scenario;
 mod speculative;
 mod suite;
 mod sweep;
@@ -52,6 +53,12 @@ pub use report::{
     AttributionSummary, ComponentTally, PhaseSummary, ReportRow, SuiteReport,
 };
 pub use run::{drive_block, simulate, simulate_stream, simulate_stream_multi, Mpki, SimResult};
+pub use scenario::{
+    adversarial_search, parse_scenario_file, run_scenario, scenario_by_name,
+    scenario_report_predictors, simulate_scenario, simulate_scenario_multi,
+    AdversarialSearchResult, ScenarioFlush, ScenarioReport, ScenarioRow, ScenarioRun, ScenarioSpec,
+    TenantSpec, TenantTally, SCENARIO_NAMES, SCENARIO_REPORT_NAMES,
+};
 pub use speculative::{speculative_imli_fidelity, SpeculationReport};
 pub use suite::{run_suite, SuiteComparison, SuiteMismatchError, SuiteResult};
 pub use sweep::{

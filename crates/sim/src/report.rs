@@ -22,9 +22,7 @@ use crate::engine::{
 };
 use crate::registry::PredictorSpec;
 use crate::run::{fill_multi_block, Mpki, SimResult, MULTI_BLOCK_RECORDS};
-use bp_components::{
-    ConditionalPredictor, ConfidenceBucket, PredictionAttribution, PredictorStats, StorageItem,
-};
+use bp_components::{ConditionalPredictor, PredictionAttribution, PredictorStats, StorageItem};
 use bp_trace::BranchStream;
 use bp_workloads::BenchmarkSpec;
 use std::collections::BTreeMap;
@@ -81,18 +79,17 @@ pub struct AttributionSummary {
 
 impl AttributionSummary {
     /// Folds one prediction into the summary. `pred` is the final
-    /// prediction, `taken` the resolved outcome.
+    /// prediction, `taken` the resolved outcome. The provider/save/loss
+    /// split is [`PredictionAttribution::classify`]'s — one definition
+    /// shared with the scenario layer's per-tenant tallies.
     pub fn record(&mut self, attribution: &PredictionAttribution, pred: bool, taken: bool) {
         let tally = self.tallies.entry(attribution.component.key()).or_default();
+        let outcome = attribution.classify(pred, taken);
         tally.provided += 1;
-        let correct = pred == taken;
-        tally.correct += u64::from(correct);
-        tally.high_confidence += u64::from(attribution.confidence == ConfidenceBucket::High);
-        if let Some(alt) = attribution.alternate {
-            let alt_correct = alt == taken;
-            tally.saves += u64::from(correct && !alt_correct);
-            tally.losses += u64::from(!correct && alt_correct);
-        }
+        tally.correct += u64::from(outcome.correct);
+        tally.high_confidence += u64::from(outcome.high_confidence);
+        tally.saves += u64::from(outcome.save);
+        tally.losses += u64::from(outcome.loss);
     }
 
     /// Merges another summary into this one.
@@ -506,7 +503,7 @@ pub fn run_report(
 
 use bp_components::json_string as json_str;
 
-fn attribution_json(summary: &AttributionSummary, indent: &str) -> String {
+pub(crate) fn attribution_json(summary: &AttributionSummary, indent: &str) -> String {
     let mut out = String::from("{");
     for (i, (key, t)) in summary.components().enumerate() {
         if i > 0 {

@@ -341,6 +341,11 @@ impl ConditionalPredictor for TageSc {
         self.tage.push_history(record.pc, record.taken);
     }
 
+    fn flush_history(&mut self) {
+        self.tage.flush_history();
+        self.sc.flush_history();
+    }
+
     fn notify_nonconditional(&mut self, record: &BranchRecord) {
         self.sc.observe(record);
         self.tage.push_path(record.pc);

@@ -388,6 +388,21 @@ impl StatisticalCorrector {
         self.imli.as_ref()
     }
 
+    /// Erases the corrector's history state (a context-switch flush):
+    /// the per-branch local histories and the IMLI fetch-engine state
+    /// (counter + PIPE). Learned structures — bias/global/local counter
+    /// banks, the adaptive threshold, the outer-history bit table and
+    /// SIC/OH tables — survive, per the flush contract of
+    /// `ConditionalPredictor::flush_history`. Allocation-free.
+    pub fn flush_history(&mut self) {
+        if let Some(lh) = &mut self.local_history {
+            lh.clear();
+        }
+        if let Some(imli) = &mut self.imli {
+            imli.flush_history();
+        }
+    }
+
     #[inline]
     fn global_index(&self, i: usize, ctx: &SumCtx) -> u64 {
         let hist = ctx.ghist & self.global_masks[i];

@@ -698,6 +698,14 @@ impl Tage {
         self.history.push_path_only(pc);
     }
 
+    /// Erases the direction/folded/path histories (a context-switch
+    /// flush) while keeping every learned table — base counters, tagged
+    /// entries, useful bits, the `use_alt_on_na` register. Allocation-
+    /// free; see [`HistoryState::flush`] for the checkpoint interplay.
+    pub fn flush_history(&mut self) {
+        self.history.flush();
+    }
+
     /// Total storage in bits (base + tagged tables + use-alt counter).
     pub fn storage_bits(&self) -> u64 {
         self.storage_items().iter().map(|i| i.bits).sum()

@@ -30,6 +30,13 @@
 //! [`BenchmarkSpec::stream`] → [`BenchmarkStream`]); the two paths
 //! share one kernel scheduler and produce identical record sequences.
 //!
+//! Shared-predictor scenarios are composed on top of any such stream by
+//! the combinator layer: [`interleave`] mixes N tenant streams under a
+//! deterministic schedule into disjoint PC regions, [`context_switch`]
+//! injects periodic predictor flushes, and [`Genome`] replays
+//! adversarial branch-pattern genomes ([`AdversarialStream`]) for the
+//! worst-case search in `bp-sim`.
+//!
 //! ```
 //! use bp_workloads::{cbp4_suite, generate};
 //! let suite = cbp4_suite();
@@ -41,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod combinators;
 mod kernels;
 mod sink;
 mod spec;
@@ -48,6 +56,11 @@ mod stream;
 mod suites;
 
 pub use cache::{cache_benchmark, TraceFileSink};
+pub use combinators::{
+    context_switch, interleave, AdversarialStream, ContextSwitchStream, EventRecords, EventStream,
+    FlushMode, Gene, Genome, InterleaveSchedule, InterleavedStream, ScenarioEvent, SingleTenant,
+    ADVERSARIAL_PC_BASE, TENANT_PC_STRIDE,
+};
 pub use kernels::{Kernel, KernelSpec, TripCount};
 pub use sink::RecordSink;
 pub use spec::{generate, BenchmarkSpec};

@@ -116,6 +116,16 @@ impl<P: ConditionalPredictor> ConditionalPredictor for WormholeAugmented<P> {
         self.main.update(record);
     }
 
+    fn flush_history(&mut self) {
+        // The wormhole/loop structures are learned per-branch tables
+        // (trip counts, inner-history patterns), which survive a
+        // partial flush like any other SRAM content; only the wrapped
+        // predictor's history state and the fetch-local "which backward
+        // branch ran last" register are erased.
+        self.last_backward_pc = None;
+        self.main.flush_history();
+    }
+
     fn notify_nonconditional(&mut self, record: &BranchRecord) {
         self.main.notify_nonconditional(record);
     }

@@ -27,6 +27,18 @@
 //!                               deterministic paper-style report to
 //!                               REPORT_<suite>.md / REPORT_<suite>.json
 //!                               (suites: cbp4, cbp3, paper)
+//! bp scenario <name-or-file> [--jobs N] [--instr N] [--json]
+//!             [--family F] [--predictors a,b,c] [--config FILE]
+//!             [--out-dir D]
+//!                               shared-predictor scenario: N tenant
+//!                               streams interleaved into one fetch
+//!                               stream (per-tenant PC regions),
+//!                               optional periodic context-switch
+//!                               flushes, per-tenant MPKI and component
+//!                               attribution; emits the deterministic
+//!                               SCENARIO_<name>.md / SCENARIO_<name>.json
+//!                               artifacts (built-ins: paper_mix,
+//!                               paper_switch, hostile_mix)
 //! bp sweep <suite> [--budgets 8,16,...] [--families a,b,c]
 //!          [--config FILE] [--jobs N] [--instr N] [--json]
 //!          [--out-dir D] [--quick]
@@ -61,8 +73,9 @@ use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
 use imli_repro::lint::{find_workspace_root, lint_workspace};
 use imli_repro::sim::{
     family_members, lookup, make_predictor, paper_report_predictors, parse_predictor_file,
-    parse_sweep_file, registry, run_report, run_sweep, simulate, simulate_stream, Engine,
-    GridStrategy, MispredictionProfile, PredictorFamily, PredictorSpec, TextTable,
+    parse_scenario_file, parse_sweep_file, registry, run_report, run_scenario, run_sweep,
+    scenario_by_name, scenario_report_predictors, simulate, simulate_stream, Engine, GridStrategy,
+    MispredictionProfile, PredictorFamily, PredictorSpec, TextTable, SCENARIO_NAMES,
     STANDARD_BUDGETS_KBIT, SWEEP_FAMILIES,
 };
 use imli_repro::trace::{read_trace, write_trace, Trace, TraceReader};
@@ -81,6 +94,8 @@ fn usage() -> ExitCode {
          bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c] \
          [--config FILE] [--strategy auto|cell|fused]\n  \
          bp report <suite> [--jobs N] [--instr N] [--warmup N] [--json] [--family F] \
+         [--predictors a,b,c] [--config FILE] [--out-dir D]\n  \
+         bp scenario <name-or-file> [--jobs N] [--instr N] [--json] [--family F] \
          [--predictors a,b,c] [--config FILE] [--out-dir D]\n  \
          bp sweep <suite> [--budgets 8,16,...] [--families a,b,c] [--config FILE] [--jobs N] \
          [--instr N] [--json] [--out-dir D] [--quick]\n  \
@@ -227,6 +242,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
         }
         ["grid", suite, ..] => run_grid(suite, &args[2..]),
         ["report", suite, ..] => run_report_cmd(suite, &args[2..]),
+        ["scenario", spec, ..] => run_scenario_cmd(spec, &args[2..]),
         ["sweep", suite, ..] => run_sweep_cmd(suite, &args[2..]),
         ["bench", ..] => run_bench(&args[1..]),
         ["lint", ..] => run_lint(&args[1..]),
@@ -534,6 +550,148 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
             report.benchmarks.len(),
             instructions,
             warmup,
+            md_path.display(),
+            json_path.display(),
+        );
+    }
+    Ok(())
+}
+
+/// Parses and runs `bp scenario <name-or-file> [--jobs N] [--instr N]
+/// [--json] [--family F] [--predictors a,b,c] [--config FILE]
+/// [--out-dir D]`: the shared-predictor scenario runner.
+///
+/// The scenario is a built-in name (`paper_mix`, `paper_switch`,
+/// `hostile_mix`) or a path to a scenario file (see
+/// [`parse_scenario_file`]): N tenant streams interleaved into one
+/// fetch stream with per-tenant PC regions, optional periodic
+/// context-switch flushes, and per-tenant MPKI/attribution reporting.
+/// `--instr` overrides the per-tenant instruction budget; `--config`
+/// replaces the predictor set with custom configurations, as in
+/// `bp report`. Artifacts `SCENARIO_<name>.md` / `SCENARIO_<name>.json`
+/// are byte-deterministic: same inputs, same bytes, any `--jobs`.
+fn run_scenario_cmd(spec_arg: &str, flags: &[String]) -> Result<(), String> {
+    let mut scenario = match scenario_by_name(spec_arg) {
+        Some(s) => s,
+        None => {
+            let text = std::fs::read_to_string(spec_arg).map_err(|e| {
+                format!(
+                    "unknown scenario {spec_arg} (try {}) and cannot read it as a file: {e}",
+                    SCENARIO_NAMES.join(", ")
+                )
+            })?;
+            parse_scenario_file(&text).map_err(|e| format!("{spec_arg}: {e}"))?
+        }
+    };
+    let mut predictors = scenario_report_predictors();
+    let mut jobs: Option<usize> = None;
+    let mut json = false;
+    let mut out_dir = ".".to_owned();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a {what}"))
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                let v = value("worker count")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad worker count: {v}"))?,
+                );
+            }
+            "--instr" => {
+                scenario.instructions =
+                    parse_u64(value("instruction count")?, "instruction count")?;
+            }
+            "--json" => json = true,
+            "--family" => {
+                let v = value("family name")?;
+                let family = PredictorFamily::ALL
+                    .into_iter()
+                    .find(|f| f.to_string() == v.to_ascii_lowercase())
+                    .ok_or_else(|| {
+                        format!("unknown family {v} (tage, gehl, perceptron, baseline)")
+                    })?;
+                predictors = family_members(family);
+            }
+            "--predictors" => {
+                let v = value("comma-separated list")?;
+                predictors = v
+                    .split(',')
+                    .map(|name| {
+                        lookup(name.trim()).ok_or_else(|| {
+                            format!(
+                                "unknown predictor {} (try `bp list predictors`)",
+                                name.trim()
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--config" => {
+                let path = value("config file path")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                predictors = parse_predictor_file(&text).map_err(|e| format!("{path}: {e}"))?;
+            }
+            "--out-dir" => {
+                out_dir = value("directory")?.to_owned();
+            }
+            other => return Err(format!("unknown scenario flag {other}")),
+        }
+    }
+
+    let engine = jobs.map_or_else(Engine::new, Engine::with_jobs);
+    let show_progress = !json;
+    let report = run_scenario(&scenario, &predictors, engine.jobs(), &|update| {
+        if show_progress {
+            eprint!(
+                "\r[{}/{}] {} on {} ({:.3} MPKI)          ",
+                update.completed, update.total, update.predictor, update.benchmark, update.mpki
+            );
+            let _ = std::io::stderr().flush();
+        }
+    })?;
+    if show_progress {
+        eprintln!();
+    }
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let stem = format!("SCENARIO_{}", report.scenario);
+    let md_path = std::path::Path::new(&out_dir).join(format!("{stem}.md"));
+    let json_path = std::path::Path::new(&out_dir).join(format!("{stem}.json"));
+    let markdown = report.to_markdown();
+    let json_doc = report.to_json();
+    std::fs::write(&md_path, &markdown)
+        .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+    std::fs::write(&json_path, &json_doc)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+
+    if json {
+        print!("{json_doc}");
+    } else {
+        let mut table = TextTable::new(vec!["config", "family", "combined MPKI", "flushes"]);
+        for row in &report.rows {
+            table.row(vec![
+                row.name.clone(),
+                row.family.clone(),
+                format!("{:.3}", row.run.mpki()),
+                row.run.flushes.to_string(),
+            ]);
+        }
+        println!(
+            "scenario {}: {} tenants x {} instructions, schedule {}, flush {}\n{table}\
+             wrote {} and {}",
+            report.scenario,
+            report.tenants.len(),
+            report.instructions,
+            report.schedule,
+            report.flush,
             md_path.display(),
             json_path.display(),
         );

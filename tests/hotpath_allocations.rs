@@ -9,8 +9,8 @@
 //! window of predict/update/notify calls must perform **zero**
 //! allocations for every predictor the acceptance criteria name.
 
-use imli_repro::sim::{drive_block, make_predictor};
-use imli_repro::workloads::cbp4_suite;
+use imli_repro::sim::{drive_block, make_predictor, scenario_by_name};
+use imli_repro::workloads::{cbp4_suite, ScenarioEvent};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -133,5 +133,64 @@ fn steady_state_predict_update_is_allocation_free() {
             "{name}: steady-state drive_block allocated {} times",
             after - before,
         );
+    }
+
+    // The scenario drive loop: multi-tenant records plus partial
+    // context-switch flushes, exactly what `bp scenario` replays per
+    // event. The events are materialized up front (event *generation*
+    // may allocate; consuming them must not), and partial flushes go
+    // through `flush_history()`, which is required to reuse the
+    // predictor's existing buffers. Full flushes rebuild the predictor
+    // and are allocating by design, so they are excluded here.
+    {
+        let scenario = scenario_by_name("paper_switch").expect("builtin");
+        let mut events = scenario.events();
+        let mut all: Vec<ScenarioEvent> = Vec::new();
+        while let Some(ev) = events.next_event() {
+            all.push(ev);
+        }
+        let (warmup_events, measured_events) = all.split_at(all.len() / 2);
+        for name in ["tage-sc-l", "tage-gsc+imli", "gehl+imli"] {
+            let mut predictor = make_predictor(name).expect("registered");
+            let mut drive = |window: &[ScenarioEvent]| -> (u64, u64) {
+                let (mut predicted, mut flushes) = (0u64, 0u64);
+                for ev in window {
+                    match ev {
+                        ScenarioEvent::Record { record, .. } => {
+                            if record.is_conditional() {
+                                let _ = predictor.predict_attributed(record.pc);
+                                predictor.update(record);
+                                predicted += 1;
+                            } else {
+                                predictor.notify_nonconditional(record);
+                            }
+                        }
+                        ScenarioEvent::Flush(_) => {
+                            predictor.flush_history();
+                            flushes += 1;
+                        }
+                    }
+                }
+                (predicted, flushes)
+            };
+            drive(warmup_events);
+
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let (predicted, flushes) = drive(measured_events);
+            let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+            assert!(
+                predicted > 20_000,
+                "{name}: scenario window drove the hot path"
+            );
+            assert!(flushes > 0, "{name}: the window crossed flush boundaries");
+            assert_eq!(
+                after - before,
+                0,
+                "{name}: steady-state scenario drive (incl. {flushes} partial flushes) \
+                 allocated {} times over {predicted} branches",
+                after - before,
+            );
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! Differential gate for the scenario layer: a single-tenant
+//! "interleave of one" scenario must be **bit-identical** to plain
+//! stream simulation for every registered predictor configuration.
+//!
+//! The combinator path adds machinery — event wrapping, tenant
+//! rebasing, block-wise fused replay, per-tenant tallies — and every
+//! piece must vanish in the degenerate case: one tenant, offset zero,
+//! no flushes. Any divergence (a dropped record, a rebased PC, a
+//! double-counted tally, an attribution drift) fails here for the
+//! exact configuration that diverged.
+
+use imli_repro::sim::{
+    registry, simulate_scenario, simulate_scenario_multi, simulate_stream,
+    simulate_stream_attributed,
+};
+use imli_repro::trace::BranchStream;
+use imli_repro::workloads::{find_benchmark, interleave, InterleaveSchedule, SingleTenant};
+
+const INSTRUCTIONS: u64 = 25_000;
+const BENCH: &str = "SPEC2K6-04";
+
+/// Every registry configuration, through the real `interleave`
+/// combinator with one tenant: identical counts, MPKI, and attribution
+/// to `simulate_stream` / `simulate_stream_attributed` on the raw
+/// benchmark stream.
+#[test]
+fn interleave_of_one_is_plain_simulation_for_every_config() {
+    let bench = find_benchmark(BENCH).expect("paper benchmark");
+    for spec in registry() {
+        // Reference: the plain attributed run (predictions are
+        // guaranteed identical to `simulate_stream`); warmup 0 puts the
+        // whole run in the steady phase.
+        let attributed =
+            simulate_stream_attributed(spec.make().as_mut(), bench.stream(INSTRUCTIONS), 0);
+        let plain = simulate_stream(spec.make().as_mut(), bench.stream(INSTRUCTIONS));
+        assert_eq!(attributed.result.stats, plain.stats, "{}", spec.name);
+
+        // Candidate: the same stream through the interleave combinator
+        // as its only tenant (tenant 0 is never PC-rebased).
+        let stream: Box<dyn BranchStream + Send> = Box::new(bench.stream(INSTRUCTIONS));
+        let mut events = interleave(vec![stream], InterleaveSchedule::RoundRobin { quantum: 7 });
+        let run = simulate_scenario(&spec, &mut events);
+
+        assert_eq!(
+            run.stats, plain.stats,
+            "{}: prediction counts diverged",
+            spec.name
+        );
+        assert_eq!(run.instructions, plain.instructions, "{}", spec.name);
+        assert_eq!(run.records, plain.records, "{}", spec.name);
+        assert!(
+            (run.mpki() - plain.mpki()).abs() < 1e-12,
+            "{}: MPKI diverged ({} vs {})",
+            spec.name,
+            run.mpki(),
+            plain.mpki()
+        );
+        assert_eq!(run.flushes, 0, "{}", spec.name);
+        assert_eq!(run.tenants.len(), 1, "{}", spec.name);
+        assert_eq!(run.tenants[0].stats, plain.stats, "{}", spec.name);
+        assert_eq!(
+            run.tenants[0].attribution, attributed.steady.attribution,
+            "{}: per-tenant attribution diverged from the plain attributed run",
+            spec.name
+        );
+    }
+}
+
+/// The same differential through the `SingleTenant` adapter (the
+/// no-combinator wrapping of a raw stream) and through the fused
+/// multi-predictor path: all three entry points agree.
+#[test]
+fn single_tenant_adapter_and_fused_path_agree_with_plain_simulation() {
+    let bench = find_benchmark(BENCH).expect("paper benchmark");
+    let specs: Vec<_> = registry().into_iter().take(6).collect();
+    let mut events = SingleTenant::new(bench.stream(INSTRUCTIONS));
+    let fused = simulate_scenario_multi(&specs, &mut events);
+    assert_eq!(fused.len(), specs.len());
+    for (spec, run) in specs.iter().zip(&fused) {
+        let plain = simulate_stream(spec.make().as_mut(), bench.stream(INSTRUCTIONS));
+        assert_eq!(
+            run.stats, plain.stats,
+            "{}: fused scenario diverged",
+            spec.name
+        );
+        assert_eq!(run.records, plain.records, "{}", spec.name);
+        assert_eq!(run.instructions, plain.instructions, "{}", spec.name);
+    }
+}

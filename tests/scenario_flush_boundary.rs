@@ -1,0 +1,150 @@
+//! Regression pins for history flush at **exact capacity boundaries**,
+//! driven through the workload combinators.
+//!
+//! An earlier PR fixed an off-by-one class in the folded-history
+//! update at original-length boundaries. Context-switch flushes land
+//! at arbitrary stream positions — including exactly when the circular
+//! global history has wrapped a whole number of times — so this suite
+//! pins two things:
+//!
+//! * the history substrate itself: a flush at push count `capacity-1`,
+//!   `capacity`, and `capacity+1` leaves the bundle equivalent to a
+//!   freshly built one for all future behavior (while keeping the
+//!   monotonic head);
+//! * the combinator level: a predictor driven through
+//!   `context_switch` with flush periods straddling capacity
+//!   boundaries is bit-identical to hand-driving the same records with
+//!   `flush_history()` calls at the same positions.
+
+use imli_repro::history::HistoryState;
+use imli_repro::sim::{lookup, simulate_scenario};
+use imli_repro::workloads::{
+    context_switch, EventStream, FlushMode, Genome, ScenarioEvent, SingleTenant,
+};
+
+/// Deterministic PC/taken pattern with no relation to power-of-two
+/// boundaries, so any boundary artifact comes from the history, not
+/// the stimulus.
+fn stimulus(i: u64) -> (bool, u64) {
+    let x = i
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left((i % 63) as u32);
+    (x & 1 == 0, 0x4000 + (x >> 7) % 4096 * 4)
+}
+
+/// Flushing at `capacity - 1`, `capacity`, and `capacity + 1` pushes —
+/// the exact wrap boundaries of the circular buffer — must leave the
+/// folds, path, and visible history bits equivalent to a fresh bundle:
+/// continuing both with the same stimulus keeps every fold identical
+/// forever after.
+#[test]
+fn flush_at_exact_capacity_boundaries_matches_fresh_state() {
+    for capacity in [64usize, 256, 1024] {
+        for boundary_offset in [-1i64, 0, 1] {
+            let flush_at = (capacity as i64 + boundary_offset) as u64;
+            let mut flushed = HistoryState::new(capacity, 16);
+            let mut fresh = HistoryState::new(capacity, 16);
+            // The fold geometry TAGE uses: original lengths up to the
+            // longest the capacity admits, folded tight.
+            let folds: Vec<_> = [3usize, 8, 12, 31, capacity / 2, capacity - 1]
+                .iter()
+                .map(|&len| {
+                    let a = flushed.add_fold(len, 11);
+                    let b = fresh.add_fold(len, 11);
+                    assert_eq!(a, b);
+                    a
+                })
+                .collect();
+            for i in 0..flush_at {
+                let (taken, pc) = stimulus(i);
+                flushed.push(taken, pc);
+            }
+            let pushes = flushed.global().pushes();
+            flushed.flush();
+            assert_eq!(
+                flushed.global().pushes(),
+                pushes,
+                "capacity {capacity}, flush at {flush_at}: flush must keep the head"
+            );
+            // From here on the flushed bundle must be indistinguishable
+            // from the fresh one, across another full wrap of the
+            // buffer.
+            for i in 0..(2 * capacity as u64 + 3) {
+                let (taken, pc) = stimulus(0x5EED ^ i);
+                flushed.push(taken, pc);
+                fresh.push(taken, pc);
+                for &f in &folds {
+                    assert_eq!(
+                        flushed.fold(f),
+                        fresh.fold(f),
+                        "capacity {capacity}, flush at {flush_at}, step {i}: fold diverged"
+                    );
+                }
+                assert_eq!(flushed.path(), fresh.path());
+                assert_eq!(
+                    flushed.global().low_bits(capacity.min(64)),
+                    fresh.global().low_bits(capacity.min(64))
+                );
+            }
+        }
+    }
+}
+
+/// Combinator-level pin: driving a TAGE-family predictor through
+/// `context_switch` is bit-identical to hand-driving the same records
+/// with `flush_history()` at the same stream positions — for flush
+/// periods chosen to land exactly on, just before, and just after
+/// power-of-two record counts (the global-history wrap boundaries of
+/// every registry config).
+#[test]
+fn context_switch_flush_equals_hand_driven_flush_at_boundary_periods() {
+    // Adversarial genome stimulus: every record is conditional and
+    // retires exactly one instruction, so a flush period of N
+    // instructions lands after exactly N records — periods can be
+    // aimed precisely at wrap boundaries.
+    let genome = Genome::seeded(0xB0DA ^ 0xFFFF, 10);
+    for period in [255u64, 256, 257, 1023, 1024, 1025] {
+        for name in ["tage-gsc+imli", "tage-sc-l", "gehl+imli"] {
+            let spec = lookup(name).expect("registered");
+
+            // Hand-driven reference: replay the event sequence
+            // directly, flushing where the combinator says to.
+            let mut reference = spec.make();
+            let mut ref_stats = imli_repro::components::PredictorStats::default();
+            let mut events = context_switch(
+                SingleTenant::new(genome.stream(6_000)),
+                period,
+                FlushMode::Partial,
+            );
+            let mut ref_flushes = 0u64;
+            while let Some(ev) = events.next_event() {
+                match ev {
+                    ScenarioEvent::Record { record, .. } => {
+                        let correct = reference.predict(record.pc) == record.taken;
+                        ref_stats.record(correct);
+                        reference.update(&record);
+                    }
+                    ScenarioEvent::Flush(FlushMode::Partial) => {
+                        reference.flush_history();
+                        ref_flushes += 1;
+                    }
+                    ScenarioEvent::Flush(FlushMode::Full) => unreachable!("partial scenario"),
+                }
+            }
+            assert!(ref_flushes >= 4, "{name}, period {period}: flushes fired");
+
+            // Candidate: the scenario runner over an identical stream.
+            let mut scenario_events = context_switch(
+                SingleTenant::new(genome.stream(6_000)),
+                period,
+                FlushMode::Partial,
+            );
+            let run = simulate_scenario(&spec, &mut scenario_events);
+            assert_eq!(run.flushes, ref_flushes, "{name}, period {period}");
+            assert_eq!(
+                run.stats, ref_stats,
+                "{name}, period {period}: scenario diverged from hand-driven flush replay"
+            );
+        }
+    }
+}
