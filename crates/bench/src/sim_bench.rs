@@ -28,13 +28,24 @@
 //!   [`bp_sim::GridResult`]s are compared cell-for-cell; a mismatch
 //!   fails the bench, so every `bp bench --sim` run re-proves the fused
 //!   engine bit-identical.
+//! * **result cache** (optional, `bp bench --sim --cache`) — the same
+//!   paper grid run uncached, cold-cache (store cleared before every
+//!   repetition, every cell computed and written back), and warm-cache
+//!   (store primed, every cell a verified hit), each `reps` timed
+//!   repetitions summarized min-of-N. The warm grid is compared
+//!   cell-for-cell against the uncached grid and the warm hit counter
+//!   against the cell count, so the committed speedup figure carries
+//!   its own bit-identity proof.
 //!
 //! The report serializes to `BENCH_sim.json`, the simulator's
 //! performance-trajectory artifact (sibling of `BENCH_trace_io.json`).
 
 use crate::trace_bench::{json_f64, json_string};
-use bp_sim::{lookup, paper_report_predictors, simulate, Engine, GridStrategy};
+use bp_sim::{
+    lookup, paper_report_predictors, simulate, CachePolicy, Engine, GridStrategy, SimCache,
+};
 use bp_workloads::{cbp4_suite, generate, paper_suite};
+use std::path::Path;
 // bp-lint: allow(determinism, "wall-clock timing is the measurand of a throughput bench; timing fields are excluded from CI's byte-comparison")
 use std::time::Instant;
 
@@ -203,6 +214,58 @@ impl GridLeg {
     }
 }
 
+/// Wall-clock comparison of uncached vs cold-cache vs warm-cache runs
+/// of the paper-report grid (the `--cache` leg of `bp bench --sim`).
+///
+/// *Cold* pays the cache's worst case: every cell is computed and an
+/// entry written back. *Warm* is the payoff: every cell is a verified
+/// hit and zero predictor records execute. The three measurements use
+/// the same min-of-N estimator as the throughput leg.
+#[derive(Debug, Clone)]
+pub struct CacheLeg {
+    /// Cells in the grid (predictors × benchmarks).
+    pub cells: usize,
+    /// Instructions per benchmark.
+    pub instructions: u64,
+    /// Engine worker count used for all three measurements.
+    pub jobs: usize,
+    /// Wall-time order statistics of the uncached runs.
+    pub uncached: RepStats,
+    /// Wall-time order statistics of the cold-cache runs (store cleared
+    /// before each repetition, so every cell computes and stores).
+    pub cold: RepStats,
+    /// Wall-time order statistics of the warm-cache runs (store primed,
+    /// so every cell is a verified hit).
+    pub warm: RepStats,
+    /// Verified hits of the last warm repetition (must equal `cells`).
+    pub warm_hits: u64,
+    /// Whether the warm-cache [`bp_sim::GridResult`] compared equal
+    /// cell-for-cell to the uncached one (it must; `false` means the
+    /// cache changed simulation results).
+    pub warm_matches_uncached: bool,
+}
+
+impl CacheLeg {
+    /// Uncached wall time over warm-cache wall time, min-of-N both
+    /// sides — the headline figure for "repeated simulation costs one
+    /// hash lookup".
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm.min_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.uncached.min_seconds / self.warm.min_seconds
+    }
+
+    /// Cold-cache wall time over uncached wall time — the write-back
+    /// overhead a first run pays to make every later run free.
+    pub fn cold_overhead(&self) -> f64 {
+        if self.uncached.min_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.cold.min_seconds / self.uncached.min_seconds
+    }
+}
+
 /// The full `bp bench --sim` report.
 #[derive(Debug, Clone)]
 pub struct SimBenchReport {
@@ -219,6 +282,9 @@ pub struct SimBenchReport {
     pub predictors: Vec<PredictorThroughput>,
     /// The per-cell vs fused grid comparison.
     pub grid: GridLeg,
+    /// The uncached vs cold vs warm result-cache comparison, when the
+    /// bench was invoked with a cache scratch directory.
+    pub cache: Option<CacheLeg>,
 }
 
 impl SimBenchReport {
@@ -281,7 +347,7 @@ impl SimBenchReport {
         out.push_str(&format!(
             "  \"grid\": {{\"predictors\": {}, \"benchmarks\": {}, \"instructions\": {}, \
              \"jobs\": {},\n           \"per_cell_seconds\": {}, \"fused_seconds\": {}, \
-             \"fused_speedup\": {}, \"fused_matches_per_cell\": {}}}\n",
+             \"fused_speedup\": {}, \"fused_matches_per_cell\": {}}}{}\n",
             g.predictors,
             g.benchmarks,
             g.instructions,
@@ -290,7 +356,28 @@ impl SimBenchReport {
             json_f64(g.fused_seconds),
             json_f64(g.fused_speedup()),
             g.fused_matches_per_cell,
+            if self.cache.is_some() { "," } else { "" },
         ));
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "  \"cache\": {{\"cells\": {}, \"instructions\": {}, \"jobs\": {}, \
+                 \"reps\": {},\n            \"uncached_seconds\": {}, \"cold_seconds\": {}, \
+                 \"warm_seconds\": {},\n            \"cold_overhead\": {}, \
+                 \"warm_speedup\": {}, \"warm_hits\": {}, \
+                 \"warm_matches_uncached\": {}}}\n",
+                c.cells,
+                c.instructions,
+                c.jobs,
+                c.uncached.reps,
+                json_f64(c.uncached.min_seconds),
+                json_f64(c.cold.min_seconds),
+                json_f64(c.warm.min_seconds),
+                json_f64(c.cold_overhead()),
+                json_f64(c.warm_speedup()),
+                c.warm_hits,
+                c.warm_matches_uncached,
+            ));
+        }
         out.push('}');
         out.push('\n');
         out
@@ -342,12 +429,16 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// (after one unmeasured warmup pass), the grid leg at
 /// `grid_instructions` per benchmark. `baseline` maps registry names to
 /// a previous run's records/sec (see [`parse_predictor_throughputs`]);
-/// pass `&[]` for a standalone run.
+/// pass `&[]` for a standalone run. `cache_dir`, when supplied, adds
+/// the result-cache leg ([`CacheLeg`]) using that directory as the
+/// cache store — the directory is **cleared** before every cold
+/// repetition, so pass a scratch path, never a cache you want to keep.
 ///
 /// # Panics
 ///
-/// Panics if `reps` is zero, or if the fused grid does not match the
-/// per-cell grid cell-for-cell — that would mean the fused engine
+/// Panics if `reps` is zero; if the fused grid does not match the
+/// per-cell grid cell-for-cell; or if the warm-cache grid does not
+/// match the uncached grid — either mismatch would mean scheduling
 /// changes simulation results, and no benchmark number is worth
 /// reporting past that.
 pub fn run_sim_bench(
@@ -355,6 +446,7 @@ pub fn run_sim_bench(
     grid_instructions: u64,
     reps: usize,
     baseline: &[(String, f64)],
+    cache_dir: Option<&Path>,
 ) -> SimBenchReport {
     assert!(reps > 0, "need at least one repetition");
     // Throughput leg: pre-materialize the trace so the measurement is
@@ -453,6 +545,55 @@ pub fn run_sim_bench(
         "fused grid diverged from the per-cell grid"
     );
 
+    // Result-cache leg: the same paper grid uncached / cold / warm,
+    // rep-major interleaved for the same reason as the throughput leg.
+    // Cold clears the store first (every cell computes + stores); warm
+    // reuses the entries the cold pass just wrote (every cell hits).
+    let cache = cache_dir.map(|dir| {
+        let cells = grid_predictors.len() * benchmarks.len();
+        let run_cached = |cache: Option<SimCache>| {
+            let engine = Engine::with_jobs(jobs).with_cache(cache);
+            timed(|| engine.run_grid(&grid_predictors, &benchmarks, grid_instructions))
+        };
+        let mut uncached_times = Vec::with_capacity(reps);
+        let mut cold_times = Vec::with_capacity(reps);
+        let mut warm_times = Vec::with_capacity(reps);
+        let mut uncached_grid = None;
+        let mut warm_outcome = None;
+        for _ in 0..reps {
+            let (grid, seconds) = run_cached(None);
+            uncached_times.push(seconds);
+            uncached_grid = Some(grid);
+
+            let cold = SimCache::new(dir, CachePolicy::ReadWrite);
+            cold.store().clear();
+            let (_, seconds) = run_cached(Some(cold));
+            cold_times.push(seconds);
+
+            let warm = SimCache::new(dir, CachePolicy::ReadWrite);
+            let (grid, seconds) = run_cached(Some(warm.clone()));
+            warm_times.push(seconds);
+            warm_outcome = Some((grid, warm.hits()));
+        }
+        let (warm_grid, warm_hits) = warm_outcome.expect("at least one warm repetition");
+        let warm_matches_uncached = uncached_grid.as_ref() == Some(&warm_grid);
+        assert!(
+            warm_matches_uncached,
+            "warm-cache grid diverged from the uncached grid"
+        );
+        assert_eq!(warm_hits as usize, cells, "warm run must hit every cell");
+        CacheLeg {
+            cells,
+            instructions: grid_instructions,
+            jobs,
+            uncached: RepStats::from_times(uncached_times),
+            cold: RepStats::from_times(cold_times),
+            warm: RepStats::from_times(warm_times),
+            warm_hits,
+            warm_matches_uncached,
+        }
+    });
+
     SimBenchReport {
         instructions,
         benchmark: spec.name.clone(),
@@ -468,6 +609,7 @@ pub fn run_sim_bench(
             fused_seconds,
             fused_matches_per_cell,
         },
+        cache,
     }
 }
 
@@ -515,7 +657,7 @@ mod tests {
         }
 
         // A second run against the first as baseline embeds speedups.
-        let rerun = run_sim_bench(5_000, 3_000, 2, &parsed);
+        let rerun = run_sim_bench(5_000, 3_000, 2, &parsed, None);
         let flagship = rerun.throughput("tage-sc-l").expect("measured");
         assert!(flagship.baseline_records_per_sec.is_some());
         assert!(flagship.speedup().is_some());
@@ -526,9 +668,9 @@ mod tests {
         // fast one.
         let slow: Vec<(String, f64)> = parsed.iter().map(|(n, _)| (n.clone(), 1e-6)).collect();
         let fast: Vec<(String, f64)> = parsed.iter().map(|(n, _)| (n.clone(), 1e15)).collect();
-        let vs_slow = run_sim_bench(5_000, 3_000, 1, &slow);
+        let vs_slow = run_sim_bench(5_000, 3_000, 1, &slow, None);
         assert!(throughput_regressions(&vs_slow, 20.0).is_empty());
-        let vs_fast = run_sim_bench(5_000, 3_000, 1, &fast);
+        let vs_fast = run_sim_bench(5_000, 3_000, 1, &fast, None);
         assert_eq!(
             throughput_regressions(&vs_fast, 20.0).len(),
             THROUGHPUT_PREDICTORS.len()
@@ -536,7 +678,33 @@ mod tests {
     }
 
     fn run_sim_bench_tiny() -> SimBenchReport {
-        run_sim_bench(5_000, 3_000, 2, &[])
+        run_sim_bench(5_000, 3_000, 2, &[], None)
+    }
+
+    #[test]
+    fn cache_leg_measures_and_verifies_the_warm_grid() {
+        let dir = std::env::temp_dir().join(format!("bp-sim-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_sim_bench(5_000, 3_000, 2, &[], Some(&dir));
+        let leg = report.cache.as_ref().expect("cache leg requested");
+        assert_eq!(leg.cells, report.grid.predictors * report.grid.benchmarks);
+        assert_eq!(leg.warm_hits as usize, leg.cells);
+        assert!(leg.warm_matches_uncached);
+        assert_eq!(leg.uncached.reps, 2);
+        assert!(leg.warm.min_seconds > 0.0);
+        assert!(leg.warm_speedup() > 0.0);
+        assert!(leg.cold_overhead() > 0.0);
+
+        let json = report.to_json();
+        assert!(json.contains("\"warm_speedup\""));
+        assert!(json.contains("\"warm_matches_uncached\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The cache object must not confuse the baseline line-scanner.
+        assert_eq!(
+            parse_predictor_throughputs(&json).len(),
+            THROUGHPUT_PREDICTORS.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

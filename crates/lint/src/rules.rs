@@ -224,6 +224,8 @@ pub fn default_policy() -> Policy {
             "crates/workloads/src/combinators.rs",
         ],
         deterministic_modules: &[
+            "crates/cache/src/lib.rs",
+            "crates/sim/src/cache.rs",
             "crates/sim/src/report.rs",
             "crates/sim/src/scenario.rs",
             "crates/sim/src/sweep.rs",
@@ -232,6 +234,8 @@ pub fn default_policy() -> Policy {
             "crates/bench/src/trace_bench.rs",
         ],
         panic_free_modules: &[
+            "crates/cache/src/lib.rs",
+            "crates/sim/src/cache.rs",
             "crates/components/src/config.rs",
             "crates/sim/src/registry.rs",
             "crates/sim/src/sweep.rs",
@@ -242,6 +246,7 @@ pub fn default_policy() -> Policy {
             "crates/perceptron/src/lib.rs",
             "crates/core/src/config.rs",
             "crates/wormhole/src/wrapper.rs",
+            "src/bin/bp.rs",
         ],
     }
 }

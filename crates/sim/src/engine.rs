@@ -27,11 +27,13 @@
 //! scheduling: `run_grid` with 1 job and with N jobs return identical
 //! [`GridResult`]s.
 
+use crate::cache::{grid_cell_key, CacheKey, SimCache};
 use crate::registry::PredictorSpec;
 use crate::run::{simulate_stream, simulate_stream_multi, SimResult};
 use crate::suite::SuiteResult;
 use bp_components::ConditionalPredictor;
 use bp_workloads::BenchmarkSpec;
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -88,6 +90,7 @@ pub struct CellUpdate<'a> {
 pub struct Engine {
     jobs: usize,
     strategy: GridStrategy,
+    cache: Option<SimCache>,
 }
 
 impl Default for Engine {
@@ -102,6 +105,7 @@ impl Engine {
         Engine {
             jobs: std::thread::available_parallelism().map_or(4, NonZeroUsize::get),
             strategy: GridStrategy::default(),
+            cache: None,
         }
     }
 
@@ -111,6 +115,7 @@ impl Engine {
         Engine {
             jobs: jobs.max(1),
             strategy: GridStrategy::default(),
+            cache: None,
         }
     }
 
@@ -120,6 +125,22 @@ impl Engine {
     pub fn with_strategy(mut self, strategy: GridStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Attaches a result cache: every grid cell is probed **before**
+    /// scheduling, only the miss-set is dispatched to workers, and the
+    /// grid comes back bit-identical to an uncached run (hit cells are
+    /// spliced into place, miss cells computed and written back per the
+    /// cache's policy).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Option<SimCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&SimCache> {
+        self.cache.as_ref()
     }
 
     /// The configured worker count.
@@ -164,12 +185,17 @@ impl Engine {
         instructions: u64,
         progress: &(dyn Fn(CellUpdate<'_>) + Sync),
     ) -> GridResult {
+        if let Some(cache) = self.cache.as_ref().filter(|c| c.enabled()) {
+            return self.run_grid_cached(cache, predictors, benchmarks, instructions, progress);
+        }
         if self.fuse_columns(predictors.len(), benchmarks.len()) {
             return self.run_grid_fused(predictors, benchmarks, instructions, progress);
         }
         let total = predictors.len() * benchmarks.len();
         let timed = run_indexed(
             self.jobs,
+            total,
+            0,
             total,
             |idx| {
                 let spec = &predictors[idx / benchmarks.len()];
@@ -194,6 +220,188 @@ impl Engine {
         }
     }
 
+    /// The cache-aware grid path: probe every cell key up front, splice
+    /// verified hits into place, dispatch **only the miss-set** to the
+    /// workers, and write the computed misses back. Duplicate keys
+    /// inside one grid (a sweep whose budget solver landed on the same
+    /// config twice) are computed once and replicated.
+    ///
+    /// The result is bit-identical to an uncached run by construction:
+    /// hit cells were produced by the same deterministic pipeline that
+    /// would recompute them, and miss cells *are* recomputed (fused
+    /// dispatch fuses only co-resident misses of a column, which
+    /// [`simulate_stream_multi`] guarantees is equivalent to any other
+    /// grouping).
+    fn run_grid_cached(
+        &self,
+        cache: &SimCache,
+        predictors: &[PredictorSpec],
+        benchmarks: &[BenchmarkSpec],
+        instructions: u64,
+        progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+    ) -> GridResult {
+        let n_b = benchmarks.len();
+        let total = predictors.len() * n_b;
+        let keys: Vec<CacheKey> = (0..total)
+            .map(|idx| {
+                grid_cell_key(
+                    &predictors[idx / n_b],
+                    &benchmarks[idx % n_b].name,
+                    instructions,
+                )
+            })
+            .collect();
+        let mut cells: Vec<Option<SimResult>> = vec![None; total];
+        let mut cell_seconds = vec![0.0; total];
+        for idx in 0..total {
+            cells[idx] = cache.lookup_sim(&keys[idx], &benchmarks[idx % n_b].name);
+        }
+
+        // In-run dedup among the misses: two cells with byte-equal
+        // (config text, benchmark) compute byte-equal results, so only
+        // one representative per key group is dispatched.
+        let mut dup_of: Vec<Option<usize>> = vec![None; total];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut representative: BTreeMap<(&str, usize), usize> = BTreeMap::new();
+            for (idx, cell) in cells.iter().enumerate() {
+                if cell.is_some() {
+                    continue;
+                }
+                match representative.entry((keys[idx].config.as_str(), idx % n_b)) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(idx);
+                        misses.push(idx);
+                    }
+                    std::collections::btree_map::Entry::Occupied(slot) => {
+                        dup_of[idx] = Some(*slot.get());
+                    }
+                }
+            }
+        }
+
+        // Hits report progress first, in deterministic cell order.
+        let mut completed = 0usize;
+        for (idx, cell) in cells.iter().enumerate() {
+            if let Some(result) = cell {
+                completed += 1;
+                progress(CellUpdate {
+                    predictor: &predictors[idx / n_b].name,
+                    benchmark: &benchmarks[idx % n_b].name,
+                    mpki: result.mpki(),
+                    completed,
+                    total,
+                });
+            }
+        }
+
+        // Dispatch the representative misses only.
+        if self.fuse_columns(predictors.len(), benchmarks.len()) {
+            // Fuse only the co-resident misses of each column.
+            let mut column_preds: Vec<Vec<usize>> = vec![Vec::new(); n_b];
+            for &idx in &misses {
+                column_preds[idx % n_b].push(idx / n_b);
+            }
+            let miss_columns: Vec<usize> =
+                (0..n_b).filter(|&b| !column_preds[b].is_empty()).collect();
+            let columns = run_columns(
+                self.jobs,
+                miss_columns.len(),
+                completed,
+                total,
+                |ci| {
+                    let b = miss_columns[ci];
+                    let bench = &benchmarks[b];
+                    let mut column: Vec<Box<dyn ConditionalPredictor + Send>> = column_preds[b]
+                        .iter()
+                        .map(|&p| predictors[p].make())
+                        .collect();
+                    let results = simulate_stream_multi(&mut column, bench.stream(instructions));
+                    let labels = column_preds[b]
+                        .iter()
+                        .zip(&results)
+                        .map(|(&p, result)| CellLabel {
+                            predictor: &predictors[p].name,
+                            benchmark: &bench.name,
+                            mpki: result.mpki(),
+                        })
+                        .collect();
+                    (results, labels)
+                },
+                progress,
+            );
+            for (ci, (results, seconds)) in columns.into_iter().enumerate() {
+                let b = miss_columns[ci];
+                let per_cell = seconds / column_preds[b].len().max(1) as f64;
+                for (&p, result) in column_preds[b].iter().zip(results) {
+                    cells[p * n_b + b] = Some(result);
+                    cell_seconds[p * n_b + b] = per_cell;
+                }
+            }
+        } else {
+            let timed = run_indexed(
+                self.jobs,
+                misses.len(),
+                completed,
+                total,
+                |j| {
+                    let idx = misses[j];
+                    let spec = &predictors[idx / n_b];
+                    let bench = &benchmarks[idx % n_b];
+                    let mut predictor = spec.make();
+                    let result = simulate_stream(predictor.as_mut(), bench.stream(instructions));
+                    let label = CellLabel {
+                        predictor: &spec.name,
+                        benchmark: &bench.name,
+                        mpki: result.mpki(),
+                    };
+                    (result, label)
+                },
+                progress,
+            );
+            for (j, (result, seconds)) in timed.into_iter().enumerate() {
+                let idx = misses[j];
+                cell_seconds[idx] = seconds;
+                cells[idx] = Some(result);
+            }
+        }
+
+        // Write the computed representatives back (policy permitting).
+        for &idx in &misses {
+            if let Some(result) = &cells[idx] {
+                cache.store_sim(&keys[idx], result);
+            }
+        }
+
+        // Replicate deduplicated cells and close out progress.
+        completed += misses.len();
+        for idx in 0..total {
+            if let Some(source) = dup_of[idx] {
+                cells[idx] = cells[source].clone();
+                completed += 1;
+                if let Some(result) = &cells[idx] {
+                    progress(CellUpdate {
+                        predictor: &predictors[idx / n_b].name,
+                        benchmark: &benchmarks[idx % n_b].name,
+                        mpki: result.mpki(),
+                        completed,
+                        total,
+                    });
+                }
+            }
+        }
+
+        GridResult {
+            predictors: predictors.iter().map(|s| s.name.to_owned()).collect(),
+            benchmarks: benchmarks.iter().map(|b| b.name.clone()).collect(),
+            cells: cells
+                .into_iter()
+                .map(|c| c.expect("every grid cell filled"))
+                .collect(),
+            cell_seconds,
+        }
+    }
+
     /// The fused column path: one work unit per benchmark, each unit
     /// generating its stream once and driving all predictors over it
     /// via [`simulate_stream_multi`]. Cells (and progress callbacks,
@@ -212,7 +420,8 @@ impl Engine {
         let columns = run_columns(
             self.jobs,
             benchmarks.len(),
-            predictors.len(),
+            0,
+            predictors.len() * benchmarks.len(),
             |b| {
                 let bench = &benchmarks[b];
                 let mut column: Vec<Box<dyn ConditionalPredictor + Send>> =
@@ -253,15 +462,18 @@ pub(crate) fn auto_fuses(predictors: usize, benchmarks: usize, jobs: usize) -> b
 /// Runs `total_columns` benchmark-column work units across `jobs`
 /// workers with the same dynamic self-scheduling as [`run_indexed`],
 /// returning `(column results, column wall seconds)` in column-index
-/// order. The column closure returns `cells_per_column` results plus
-/// one display label per result; progress fires once per *cell* (not
-/// per column), with the same monotonic `completed` counter the
-/// per-cell scheduler maintains. Shared by the plain fused grid and the
-/// fused attributed report path.
+/// order. The column closure returns one result plus one display label
+/// per cell it ran; progress fires once per *cell* (not per column),
+/// with a monotonic `completed` counter starting at `progress_base`
+/// against `progress_total` — the cache path probes hits before
+/// scheduling, so the dispatched miss-set may be a suffix of a larger
+/// grid. Shared by the plain fused grid and the fused attributed report
+/// path.
 pub(crate) fn run_columns<'a, T, F>(
     jobs: usize,
     total_columns: usize,
-    cells_per_column: usize,
+    progress_base: usize,
+    progress_total: usize,
     column: F,
     progress: &(dyn Fn(CellUpdate<'_>) + Sync),
 ) -> Vec<(Vec<T>, f64)>
@@ -269,12 +481,12 @@ where
     T: Send,
     F: Fn(usize) -> (Vec<T>, Vec<CellLabel<'a>>) + Sync,
 {
-    let total_cells = total_columns * cells_per_column;
     let next = AtomicUsize::new(0);
     type Collected<T> = (Vec<(usize, Vec<T>, f64)>, usize);
     // Collected columns plus the monotonic completed-cell counter
     // behind the progress callbacks, under one lock.
-    let collected: Mutex<Collected<T>> = Mutex::new((Vec::with_capacity(total_columns), 0));
+    let collected: Mutex<Collected<T>> =
+        Mutex::new((Vec::with_capacity(total_columns), progress_base));
     let worker = || loop {
         let b = next.fetch_add(1, Ordering::Relaxed);
         if b >= total_columns {
@@ -283,7 +495,7 @@ where
         let started = std::time::Instant::now();
         let (results, labels) = column(b);
         let seconds = started.elapsed().as_secs_f64();
-        debug_assert_eq!(results.len(), cells_per_column);
+        debug_assert_eq!(results.len(), labels.len());
         let mut guard = collected.lock().expect("results lock");
         let (columns, completed) = &mut *guard;
         for label in labels {
@@ -293,7 +505,7 @@ where
                 benchmark: label.benchmark,
                 mpki: label.mpki,
                 completed: *completed,
-                total: total_cells,
+                total: progress_total,
             });
         }
         columns.push((b, results, seconds));
@@ -308,7 +520,7 @@ where
         });
     }
     let (mut columns, completed) = collected.into_inner().expect("results lock");
-    debug_assert_eq!(completed, total_cells);
+    debug_assert!(completed <= progress_total);
     columns.sort_unstable_by_key(|(b, _, _)| *b);
     columns
         .into_iter()
@@ -359,11 +571,16 @@ pub(crate) struct CellLabel<'a> {
 /// and [`crate::run_suite`] rows. The worker closure returns the cell
 /// result plus its display label; completion counting happens here,
 /// under the collection lock, so progress callbacks observe a strictly
-/// increasing `completed`. Per-cell wall time is measured around the
-/// closure (generation + simulation), outside the lock.
+/// increasing `completed` starting at `progress_base` against
+/// `progress_total` (the cache path reports probe hits before
+/// dispatching the remaining miss-set here). Per-cell wall time is
+/// measured around the closure (generation + simulation), outside the
+/// lock.
 pub(crate) fn run_indexed<'a, T, F>(
     jobs: usize,
     total: usize,
+    progress_base: usize,
+    progress_total: usize,
     cell: F,
     progress: &(dyn Fn(CellUpdate<'_>) + Sync),
 ) -> Vec<(T, f64)>
@@ -388,8 +605,8 @@ where
             predictor: label.predictor,
             benchmark: label.benchmark,
             mpki: label.mpki,
-            completed: results.len() + 1,
-            total,
+            completed: progress_base + results.len() + 1,
+            total: progress_total,
         });
         results.push((idx, result, seconds));
     };
@@ -688,6 +905,65 @@ mod tests {
         assert!(Engine::with_jobs(16)
             .with_strategy(GridStrategy::FusedColumns)
             .fuse_columns(1, 1));
+    }
+
+    #[test]
+    fn cached_grid_is_bit_identical_off_cold_and_warm() {
+        let (predictors, benchmarks) = small_grid();
+        let dir = std::env::temp_dir().join(format!("bp-engine-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let baseline = Engine::with_jobs(2).run_grid(&predictors, &benchmarks, 20_000);
+        for strategy in [GridStrategy::PerCell, GridStrategy::FusedColumns] {
+            let _ = std::fs::remove_dir_all(&dir);
+            let cold_cache = SimCache::new(&dir, crate::CachePolicy::ReadWrite);
+            let cold = Engine::with_jobs(2)
+                .with_strategy(strategy)
+                .with_cache(Some(cold_cache.clone()))
+                .run_grid(&predictors, &benchmarks, 20_000);
+            assert_eq!(baseline, cold, "cold cached grid diverged ({strategy:?})");
+            assert_eq!(cold_cache.hits(), 0);
+            assert_eq!(cold_cache.stores(), 6);
+            let warm_cache = SimCache::new(&dir, crate::CachePolicy::ReadWrite);
+            let fired = AtomicUsize::new(0);
+            let warm = Engine::with_jobs(4)
+                .with_strategy(strategy)
+                .with_cache(Some(warm_cache.clone()))
+                .run_grid_with_progress(&predictors, &benchmarks, 20_000, &|update| {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                    assert_eq!(update.total, 6);
+                });
+            assert_eq!(baseline, warm, "warm cached grid diverged ({strategy:?})");
+            assert_eq!(warm_cache.hits(), 6, "warm run must not simulate");
+            assert_eq!(warm_cache.stores(), 0);
+            assert_eq!(fired.load(Ordering::Relaxed), 6);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_grid_computes_duplicate_configs_once() {
+        let spec = lookup("gshare").expect("registered");
+        let twin = PredictorSpec::new("gshare-twin", "same config, different name", {
+            spec.config.clone()
+        });
+        let predictors = vec![spec, twin];
+        let benchmarks: Vec<BenchmarkSpec> = cbp4_suite().into_iter().take(2).collect();
+        let dir = std::env::temp_dir().join(format!("bp-engine-dedup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SimCache::new(&dir, crate::CachePolicy::ReadWrite);
+        let grid = Engine::with_jobs(1)
+            .with_strategy(GridStrategy::PerCell)
+            .with_cache(Some(cache.clone()))
+            .run_grid(&predictors, &benchmarks, 10_000);
+        // 4 cells, but only 2 distinct (config, benchmark) keys: the
+        // twins replicate without simulating or re-storing.
+        assert_eq!(cache.stores(), 2);
+        assert_eq!(grid.row(0), grid.row(1));
+        let baseline = Engine::with_jobs(1)
+            .with_strategy(GridStrategy::PerCell)
+            .run_grid(&predictors, &benchmarks, 10_000);
+        assert_eq!(baseline, grid);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

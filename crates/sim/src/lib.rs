@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod cache;
 mod engine;
 mod registry;
 mod report;
@@ -42,6 +43,10 @@ mod sweep;
 mod table;
 
 pub use analysis::{learning_curve, BranchProfile, MispredictionProfile};
+pub use cache::{
+    grid_cell_key, report_cell_key, scenario_cell_key, CacheKey, CachePolicy, CacheStats,
+    CacheStore, GcOutcome, SimCache,
+};
 pub use engine::{CellUpdate, Engine, GridResult, GridStrategy};
 pub use registry::{
     configs, family_members, lookup, make_predictor, paper_report_predictors, registry,
@@ -49,20 +54,22 @@ pub use registry::{
     PAPER_REPORT_NAMES,
 };
 pub use report::{
-    run_report, simulate_stream_attributed, simulate_stream_attributed_multi, AttributedRun,
-    AttributionSummary, ComponentTally, PhaseSummary, ReportRow, SuiteReport,
+    run_report, run_report_with_cache, simulate_stream_attributed,
+    simulate_stream_attributed_multi, AttributedRun, AttributionSummary, ComponentTally,
+    PhaseSummary, ReportRow, SuiteReport,
 };
 pub use run::{drive_block, simulate, simulate_stream, simulate_stream_multi, Mpki, SimResult};
 pub use scenario::{
-    adversarial_search, parse_scenario_file, run_scenario, scenario_by_name,
-    scenario_report_predictors, simulate_scenario, simulate_scenario_multi,
+    adversarial_search, parse_scenario_file, run_scenario, run_scenario_with_cache,
+    scenario_by_name, scenario_report_predictors, simulate_scenario, simulate_scenario_multi,
     AdversarialSearchResult, ScenarioFlush, ScenarioReport, ScenarioRow, ScenarioRun, ScenarioSpec,
     TenantSpec, TenantTally, SCENARIO_NAMES, SCENARIO_REPORT_NAMES,
 };
 pub use speculative::{speculative_imli_fidelity, SpeculationReport};
 pub use suite::{run_suite, SuiteComparison, SuiteMismatchError, SuiteResult};
 pub use sweep::{
-    parse_predictor_file, parse_sweep_file, run_sweep, solve_budget, SweepFileConfig, SweepReport,
-    SweepRow, BUDGET_TOLERANCE, STANDARD_BUDGETS_KBIT, SWEEP_FAMILIES,
+    parse_predictor_file, parse_sweep_file, run_sweep, run_sweep_with_cache, solve_budget,
+    SweepFileConfig, SweepReport, SweepRow, BUDGET_TOLERANCE, STANDARD_BUDGETS_KBIT,
+    SWEEP_FAMILIES,
 };
 pub use table::TextTable;

@@ -17,6 +17,7 @@
 //!   ordering): the same inputs produce byte-identical reports, which
 //!   is what makes them diffable artifacts of record.
 
+use crate::cache::{report_cell_key, CacheKey, SimCache};
 use crate::engine::{
     auto_fuses, run_columns, run_indexed, transpose_columns, CellLabel, CellUpdate,
 };
@@ -115,6 +116,35 @@ impl AttributionSummary {
     pub fn total_provided(&self) -> u64 {
         self.tallies.values().map(|t| t.provided).sum()
     }
+
+    /// Rebuilds one component entry from a decoded cache payload. The
+    /// key must already be interned ([`intern_component_key`]): cached
+    /// entries can only name components that exist in this build.
+    pub(crate) fn insert_tally(&mut self, key: &'static str, tally: ComponentTally) {
+        self.tallies.insert(key, tally);
+    }
+}
+
+/// The closed set of provider-component keys
+/// ([`bp_components::ProviderComponent::key`] values plus
+/// `"unattributed"`), alphabetical. Cache decoding interns parsed
+/// attribution keys against this set so an [`AttributionSummary`] keeps
+/// its `&'static str` keys; an unknown key means the entry predates (or
+/// postdates) this build's component vocabulary and must be recomputed.
+pub(crate) const COMPONENT_KEYS: [&str; 7] = [
+    "base",
+    "corrector",
+    "loop",
+    "neural",
+    "tagged",
+    "unattributed",
+    "wormhole",
+];
+
+/// Interns `key` against [`COMPONENT_KEYS`]; `None` marks the whole
+/// cached entry undecodable.
+pub(crate) fn intern_component_key(key: &str) -> Option<&'static str> {
+    COMPONENT_KEYS.iter().find(|k| **k == key).copied()
 }
 
 /// Statistics of one phase (warmup or steady state) of an attributed
@@ -405,13 +435,54 @@ pub fn run_report(
     jobs: usize,
     progress: &(dyn Fn(CellUpdate<'_>) + Sync),
 ) -> SuiteReport {
+    run_report_with_cache(
+        suite,
+        predictors,
+        benchmarks,
+        instructions,
+        warmup_instructions,
+        jobs,
+        None,
+        progress,
+    )
+}
+
+/// [`run_report`] with an optional result cache. Every cell key is
+/// probed before any scheduling; verified hits are spliced in (their
+/// progress callbacks fire first, in cell order) and only the miss-set
+/// is dispatched — under the fused path each benchmark column fuses
+/// only its co-resident misses. Computed cells are written back under
+/// the policy. The report is bit-identical with the cache absent,
+/// cold, or warm.
+#[allow(clippy::too_many_arguments)]
+pub fn run_report_with_cache(
+    suite: &str,
+    predictors: &[PredictorSpec],
+    benchmarks: &[BenchmarkSpec],
+    instructions: u64,
+    warmup_instructions: u64,
+    jobs: usize,
+    cache: Option<&SimCache>,
+    progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+) -> SuiteReport {
     let total = predictors.len() * benchmarks.len();
     let fused = auto_fuses(predictors.len(), benchmarks.len(), jobs);
-    let timed: Vec<(AttributedRun, f64)> = if fused {
+    let timed: Vec<(AttributedRun, f64)> = if let Some(cache) = cache.filter(|c| c.enabled()) {
+        run_attributed_cached(
+            cache,
+            predictors,
+            benchmarks,
+            instructions,
+            warmup_instructions,
+            jobs,
+            progress,
+        )
+    } else if fused {
         let columns = run_columns(
             jobs,
             benchmarks.len(),
-            predictors.len(),
+            0,
+            total,
             |b| {
                 let bench = &benchmarks[b];
                 let mut column: Vec<Box<dyn ConditionalPredictor + Send>> =
@@ -439,6 +510,8 @@ pub fn run_report(
     } else {
         run_indexed(
             jobs,
+            total,
+            0,
             total,
             |idx| {
                 let spec = &predictors[idx / benchmarks.len()];
@@ -499,6 +572,138 @@ pub fn run_report(
         cell_records,
         cell_seconds,
     }
+}
+
+/// The cache-aware attributed grid dispatch behind
+/// [`run_report_with_cache`]: probe every key, splice verified hits
+/// (zero wall seconds — no simulation ran), dispatch only the misses,
+/// store what was computed. Hits report progress first so `completed`
+/// stays monotonic when the schedulers continue from the hit count.
+fn run_attributed_cached(
+    cache: &SimCache,
+    predictors: &[PredictorSpec],
+    benchmarks: &[BenchmarkSpec],
+    instructions: u64,
+    warmup_instructions: u64,
+    jobs: usize,
+    progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+) -> Vec<(AttributedRun, f64)> {
+    let n_b = benchmarks.len();
+    let total = predictors.len() * n_b;
+    let keys: Vec<CacheKey> = predictors
+        .iter()
+        .flat_map(|spec| {
+            benchmarks
+                .iter()
+                .map(|bench| report_cell_key(spec, &bench.name, instructions, warmup_instructions))
+        })
+        .collect();
+    let mut cells: Vec<Option<(AttributedRun, f64)>> = keys
+        .iter()
+        .enumerate()
+        .map(|(idx, key)| {
+            cache
+                .lookup_attributed(key, &benchmarks[idx % n_b].name)
+                .map(|run| (run, 0.0))
+        })
+        .collect();
+    let mut completed = 0usize;
+    for (idx, cell) in cells.iter().enumerate() {
+        if let Some((run, _)) = cell {
+            completed += 1;
+            progress(CellUpdate {
+                predictor: &predictors[idx / n_b].name,
+                benchmark: &benchmarks[idx % n_b].name,
+                mpki: run.result.mpki(),
+                completed,
+                total,
+            });
+        }
+    }
+    let misses: Vec<usize> = (0..total).filter(|&idx| cells[idx].is_none()).collect();
+    if misses.is_empty() {
+        // Fall through: every cell was a verified hit.
+    } else if auto_fuses(predictors.len(), n_b, jobs) {
+        // Fuse only the co-resident misses of each benchmark column:
+        // fusing a predictor subset is bit-identical to solo runs
+        // (each predictor sees the same stream independently).
+        let miss_columns: Vec<(usize, Vec<usize>)> = (0..n_b)
+            .filter_map(|b| {
+                let preds: Vec<usize> = (0..predictors.len())
+                    .filter(|&p| cells[p * n_b + b].is_none())
+                    .collect();
+                (!preds.is_empty()).then_some((b, preds))
+            })
+            .collect();
+        let columns = run_columns(
+            jobs,
+            miss_columns.len(),
+            completed,
+            total,
+            |ci| {
+                let (b, preds) = &miss_columns[ci];
+                let bench = &benchmarks[*b];
+                let mut column: Vec<Box<dyn ConditionalPredictor + Send>> =
+                    preds.iter().map(|&p| predictors[p].make()).collect();
+                let runs = simulate_stream_attributed_multi(
+                    &mut column,
+                    bench.stream(instructions),
+                    warmup_instructions,
+                );
+                let labels = preds
+                    .iter()
+                    .zip(&runs)
+                    .map(|(&p, run)| CellLabel {
+                        predictor: &predictors[p].name,
+                        benchmark: &bench.name,
+                        mpki: run.result.mpki(),
+                    })
+                    .collect();
+                (runs, labels)
+            },
+            progress,
+        );
+        for ((b, preds), (runs, seconds)) in miss_columns.iter().zip(columns) {
+            let per_cell = seconds / runs.len().max(1) as f64;
+            for (&p, run) in preds.iter().zip(runs) {
+                cache.store_attributed(&keys[p * n_b + b], &run);
+                cells[p * n_b + b] = Some((run, per_cell));
+            }
+        }
+    } else {
+        let computed = run_indexed(
+            jobs,
+            misses.len(),
+            completed,
+            total,
+            |j| {
+                let idx = misses[j];
+                let spec = &predictors[idx / n_b];
+                let bench = &benchmarks[idx % n_b];
+                let mut predictor = spec.make();
+                let run = simulate_stream_attributed(
+                    predictor.as_mut(),
+                    bench.stream(instructions),
+                    warmup_instructions,
+                );
+                let label = CellLabel {
+                    predictor: &spec.name,
+                    benchmark: &bench.name,
+                    mpki: run.result.mpki(),
+                };
+                (run, label)
+            },
+            progress,
+        );
+        for (&idx, (run, seconds)) in misses.iter().zip(computed) {
+            cache.store_attributed(&keys[idx], &run);
+            cells[idx] = Some((run, seconds));
+        }
+    }
+    cells
+        .into_iter()
+        .map(|cell| cell.expect("every report cell filled"))
+        .collect()
 }
 
 use bp_components::json_string as json_str;

@@ -25,6 +25,7 @@
 //!   wall-clock anywhere in the loop: a fixed seed reproduces the
 //!   identical worst-case stream.
 
+use crate::cache::{scenario_cell_key, CacheKey, SimCache};
 use crate::engine::{
     auto_fuses, run_columns, run_indexed, transpose_columns, CellLabel, CellUpdate,
 };
@@ -207,6 +208,61 @@ impl ScenarioSpec {
             None => "none".to_owned(),
             Some(f) => format!("{} every {} instructions", f.mode.label(), f.period),
         }
+    }
+
+    /// Renders the spec as the canonical `bp scenario --config`
+    /// document — [`parse_scenario_file`] round-trips it exactly
+    /// (tested). Byte-equal canonical values describe byte-identical
+    /// event streams, which makes this rendering the scenario's
+    /// *workload identity* for the result cache.
+    pub fn to_value(&self) -> ConfigValue {
+        let tenants = ConfigValue::List(
+            self.tenants
+                .iter()
+                .map(|t| match t {
+                    TenantSpec::Benchmark(name) => {
+                        ConfigValue::map().set("benchmark", ConfigValue::str(name.as_str()))
+                    }
+                    TenantSpec::Adversarial { seed, genes } => ConfigValue::map().set(
+                        "adversarial",
+                        ConfigValue::map()
+                            .set("seed", crate::cache::int_u64(*seed))
+                            .set("genes", crate::cache::int_u64(*genes as u64)),
+                    ),
+                })
+                .collect(),
+        );
+        let schedule = match self.schedule {
+            InterleaveSchedule::RoundRobin { quantum } => ConfigValue::map().set(
+                "round_robin",
+                ConfigValue::map().set("quantum", ConfigValue::int(quantum)),
+            ),
+            InterleaveSchedule::SeededBursts { seed, min, max } => ConfigValue::map().set(
+                "seeded_bursts",
+                ConfigValue::map()
+                    .set("seed", crate::cache::int_u64(seed))
+                    .set("min", ConfigValue::int(min))
+                    .set("max", ConfigValue::int(max)),
+            ),
+        };
+        ConfigValue::map()
+            .set("name", ConfigValue::str(self.name.as_str()))
+            .set("instructions", crate::cache::int_u64(self.instructions))
+            .set("tenants", tenants)
+            .set("schedule", schedule)
+            .set_opt(
+                "flush",
+                self.flush.as_ref().map(|f| {
+                    ConfigValue::map()
+                        .set("period", crate::cache::int_u64(f.period))
+                        .set("mode", ConfigValue::str(f.mode.label()))
+                }),
+            )
+    }
+
+    /// [`ScenarioSpec::to_value`] rendered as deterministic text.
+    pub fn canonical_text(&self) -> String {
+        self.to_value().to_text()
     }
 }
 
@@ -528,15 +584,33 @@ pub fn run_scenario(
     jobs: usize,
     progress: &(dyn Fn(CellUpdate<'_>) + Sync),
 ) -> Result<ScenarioReport, String> {
+    run_scenario_with_cache(scenario, predictors, jobs, None, progress)
+}
+
+/// [`run_scenario`] with an optional result cache. Each predictor's
+/// run is keyed on its config text plus the scenario's whole canonical
+/// spec text; verified hits are spliced in (progress first, in input
+/// order) and only the missing predictors re-consume the event stream
+/// — fused together when they can keep the workers busy. The report is
+/// bit-identical with the cache absent, cold, or warm.
+pub fn run_scenario_with_cache(
+    scenario: &ScenarioSpec,
+    predictors: &[PredictorSpec],
+    jobs: usize,
+    cache: Option<&SimCache>,
+    progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+) -> Result<ScenarioReport, String> {
     scenario.validate()?;
     if predictors.is_empty() {
         return Err("scenario needs at least one predictor".to_owned());
     }
-    let fused = auto_fuses(predictors.len(), 1, jobs);
-    let timed: Vec<(ScenarioRun, f64)> = if fused {
+    let timed: Vec<(ScenarioRun, f64)> = if let Some(cache) = cache.filter(|c| c.enabled()) {
+        run_scenario_cached(cache, scenario, predictors, jobs, progress)
+    } else if auto_fuses(predictors.len(), 1, jobs) {
         let columns = run_columns(
             jobs,
             1,
+            0,
             predictors.len(),
             |_| {
                 let mut events = scenario.events();
@@ -559,6 +633,8 @@ pub fn run_scenario(
     } else {
         run_indexed(
             jobs,
+            predictors.len(),
+            0,
             predictors.len(),
             |idx| {
                 let spec = &predictors[idx];
@@ -594,6 +670,109 @@ pub fn run_scenario(
         rows,
         cell_seconds,
     })
+}
+
+/// The cache-aware scenario dispatch behind
+/// [`run_scenario_with_cache`]: probe every predictor's key, splice
+/// verified hits (zero wall seconds), then run only the missing
+/// predictors over the shared event stream — fused when the miss-set
+/// alone satisfies the engine's fusing heuristic, individually
+/// otherwise. Computed runs are written back under the policy.
+fn run_scenario_cached(
+    cache: &SimCache,
+    scenario: &ScenarioSpec,
+    predictors: &[PredictorSpec],
+    jobs: usize,
+    progress: &(dyn Fn(CellUpdate<'_>) + Sync),
+) -> Vec<(ScenarioRun, f64)> {
+    let total = predictors.len();
+    let keys: Vec<CacheKey> = predictors
+        .iter()
+        .map(|spec| scenario_cell_key(spec, scenario))
+        .collect();
+    let mut cells: Vec<Option<(ScenarioRun, f64)>> = keys
+        .iter()
+        .map(|key| {
+            cache
+                .lookup_scenario(key, scenario.tenants.len())
+                .map(|run| (run, 0.0))
+        })
+        .collect();
+    let mut completed = 0usize;
+    for (idx, cell) in cells.iter().enumerate() {
+        if let Some((run, _)) = cell {
+            completed += 1;
+            progress(CellUpdate {
+                predictor: &predictors[idx].name,
+                benchmark: &scenario.name,
+                mpki: run.mpki(),
+                completed,
+                total,
+            });
+        }
+    }
+    let misses: Vec<usize> = (0..total).filter(|&idx| cells[idx].is_none()).collect();
+    if misses.is_empty() {
+        // Every predictor was a verified hit; nothing to simulate.
+    } else if auto_fuses(misses.len(), 1, jobs) {
+        // Fuse only the missing predictors over one shared stream:
+        // fusing a subset is bit-identical to solo runs.
+        let miss_specs: Vec<PredictorSpec> =
+            misses.iter().map(|&idx| predictors[idx].clone()).collect();
+        let columns = run_columns(
+            jobs,
+            1,
+            completed,
+            total,
+            |_| {
+                let mut events = scenario.events();
+                let runs = simulate_scenario_multi(&miss_specs, events.as_mut());
+                let labels = miss_specs
+                    .iter()
+                    .zip(&runs)
+                    .map(|(spec, run)| CellLabel {
+                        predictor: &spec.name,
+                        benchmark: &scenario.name,
+                        mpki: run.mpki(),
+                    })
+                    .collect();
+                (runs, labels)
+            },
+            progress,
+        );
+        let (cell_runs, seconds) = transpose_columns(columns, miss_specs.len(), 1);
+        for ((&idx, run), seconds) in misses.iter().zip(cell_runs).zip(seconds) {
+            cache.store_scenario(&keys[idx], &run);
+            cells[idx] = Some((run, seconds));
+        }
+    } else {
+        let computed = run_indexed(
+            jobs,
+            misses.len(),
+            completed,
+            total,
+            |j| {
+                let spec = &predictors[misses[j]];
+                let mut events = scenario.events();
+                let run = simulate_scenario(spec, events.as_mut());
+                let label = CellLabel {
+                    predictor: &spec.name,
+                    benchmark: &scenario.name,
+                    mpki: run.mpki(),
+                };
+                (run, label)
+            },
+            progress,
+        );
+        for (&idx, (run, seconds)) in misses.iter().zip(computed) {
+            cache.store_scenario(&keys[idx], &run);
+            cells[idx] = Some((run, seconds));
+        }
+    }
+    cells
+        .into_iter()
+        .map(|cell| cell.expect("every scenario cell filled"))
+        .collect()
 }
 
 impl ScenarioReport {

@@ -160,6 +160,8 @@ pub fn run_suite(
     let timed = run_indexed(
         jobs,
         specs.len(),
+        0,
+        specs.len(),
         |idx| {
             let spec = &specs[idx];
             let mut predictor = factory();

@@ -492,6 +492,34 @@ pub fn run_sweep(
     jobs: usize,
     progress: &(dyn Fn(crate::engine::CellUpdate<'_>) + Sync),
 ) -> Result<SweepReport, ConfigError> {
+    run_sweep_with_cache(
+        suite,
+        benchmarks,
+        budgets_kbit,
+        families,
+        instructions,
+        jobs,
+        None,
+        progress,
+    )
+}
+
+/// [`run_sweep`] with an optional result cache, handed to the
+/// [`Engine`] so only missing grid cells simulate. Cache keys are the
+/// *solved* configuration texts, not the `family@budget` labels — two
+/// budgets solving to the same configuration share one entry, and a
+/// cache warmed by `bp grid` on the same config hits here too.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_with_cache(
+    suite: &str,
+    benchmarks: &[BenchmarkSpec],
+    budgets_kbit: &[u64],
+    families: &[String],
+    instructions: u64,
+    jobs: usize,
+    cache: Option<&crate::cache::SimCache>,
+    progress: &(dyn Fn(crate::engine::CellUpdate<'_>) + Sync),
+) -> Result<SweepReport, ConfigError> {
     for (i, budget) in budgets_kbit.iter().enumerate() {
         if budgets_kbit[..i].contains(budget) {
             return Err(ConfigError::new(format!("duplicate budget {budget} Kbit")));
@@ -518,6 +546,7 @@ pub fn run_sweep(
     }
     let grid = Engine::with_jobs(jobs)
         .with_strategy(GridStrategy::FusedColumns)
+        .with_cache(cache.cloned())
         .run_grid_with_progress(&specs, benchmarks, instructions, progress);
     let rows = specs
         .iter()

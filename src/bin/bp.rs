@@ -64,7 +64,18 @@
 //!                               rules over every workspace source
 //!                               file; --fix-audit regenerates
 //!                               UNSAFE_AUDIT.md
+//! bp cache stats|gc|clear [DIR]
+//!                               inspect or maintain a result cache
+//!                               directory (default .bp-cache):
+//!                               deterministic entry/byte counts, gc of
+//!                               invalid files, full clear
 //! ```
+//!
+//! `bp grid|report|sweep|scenario` additionally take `--cache [DIR]`
+//! (default `.bp-cache`) and `--cache-mode rw|ro|refresh`: cells whose
+//! content-addressed key (config text × workload × budgets) is already
+//! in the cache are spliced in without simulating, and only the misses
+//! run. Artifacts are byte-identical with the cache off, cold, or warm.
 
 use imli_repro::bench::sim_bench::{
     parse_predictor_throughputs, run_sim_bench, throughput_regressions, DEFAULT_REPS,
@@ -73,10 +84,11 @@ use imli_repro::bench::trace_bench::{json_string, run_trace_io_bench};
 use imli_repro::lint::{find_workspace_root, lint_workspace};
 use imli_repro::sim::{
     family_members, lookup, make_predictor, paper_report_predictors, parse_predictor_file,
-    parse_scenario_file, parse_sweep_file, registry, run_report, run_scenario, run_sweep,
-    scenario_by_name, scenario_report_predictors, simulate, simulate_stream, Engine, GridStrategy,
-    MispredictionProfile, PredictorFamily, PredictorSpec, TextTable, SCENARIO_NAMES,
-    STANDARD_BUDGETS_KBIT, SWEEP_FAMILIES,
+    parse_scenario_file, parse_sweep_file, registry, run_report_with_cache,
+    run_scenario_with_cache, run_sweep_with_cache, scenario_by_name, scenario_report_predictors,
+    simulate, simulate_stream, CachePolicy, CacheStore, Engine, GridStrategy, MispredictionProfile,
+    PredictorFamily, PredictorSpec, SimCache, TextTable, SCENARIO_NAMES, STANDARD_BUDGETS_KBIT,
+    SWEEP_FAMILIES,
 };
 use imli_repro::trace::{read_trace, write_trace, Trace, TraceReader};
 use imli_repro::workloads::{
@@ -92,16 +104,17 @@ fn usage() -> ExitCode {
          bp simulate <config> <bench-or-file> [instr]\n  bp profile <config> <bench> [instr] [top]\n  \
          bp compare <bench> [instr]\n  \
          bp grid <suite> [--jobs N] [--json] [--instr N] [--family F] [--predictors a,b,c] \
-         [--config FILE] [--strategy auto|cell|fused]\n  \
+         [--config FILE] [--strategy auto|cell|fused] [--cache [DIR]] [--cache-mode M]\n  \
          bp report <suite> [--jobs N] [--instr N] [--warmup N] [--json] [--family F] \
-         [--predictors a,b,c] [--config FILE] [--out-dir D]\n  \
+         [--predictors a,b,c] [--config FILE] [--out-dir D] [--cache [DIR]] [--cache-mode M]\n  \
          bp scenario <name-or-file> [--jobs N] [--instr N] [--json] [--family F] \
-         [--predictors a,b,c] [--config FILE] [--out-dir D]\n  \
+         [--predictors a,b,c] [--config FILE] [--out-dir D] [--cache [DIR]] [--cache-mode M]\n  \
          bp sweep <suite> [--budgets 8,16,...] [--families a,b,c] [--config FILE] [--jobs N] \
-         [--instr N] [--json] [--out-dir D] [--quick]\n  \
+         [--instr N] [--json] [--out-dir D] [--quick] [--cache [DIR]] [--cache-mode M]\n  \
          bp bench [--quick] [--instr N] [--out FILE]\n  \
-         bp bench --sim [--quick] [--instr N] [--out FILE] [--baseline FILE]\n  \
-         bp lint [--json] [--fix-audit]"
+         bp bench --sim [--quick] [--instr N] [--out FILE] [--baseline FILE] [--cache [DIR]]\n  \
+         bp lint [--json] [--fix-audit]\n  \
+         bp cache <stats|gc|clear> [DIR]"
     );
     ExitCode::FAILURE
 }
@@ -246,6 +259,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
         ["sweep", suite, ..] => run_sweep_cmd(suite, &args[2..]),
         ["bench", ..] => run_bench(&args[1..]),
         ["lint", ..] => run_lint(&args[1..]),
+        ["cache", ..] => run_cache_cmd(&args[1..]),
         ["compare", bench] | ["compare", bench, _] => {
             let instructions = args
                 .get(2)
@@ -260,7 +274,7 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
                     (spec.name.to_owned(), simulate(p.as_mut(), &trace).mpki())
                 })
                 .collect();
-            rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            rows.sort_by(|a, b| a.1.total_cmp(&b.1));
             let mut table = TextTable::new(vec!["config", "MPKI"]);
             for (name, mpki) in rows {
                 table.row(vec![name, format!("{mpki:.3}")]);
@@ -271,6 +285,57 @@ fn run(args: &[String]) -> Result<Option<()>, String> {
         _ => return Ok(None),
     }
     .map(Some)
+}
+
+/// The default on-disk location of the result cache when `--cache` is
+/// given without a directory.
+const DEFAULT_CACHE_DIR: &str = ".bp-cache";
+
+/// Parses `--cache`'s optional directory operand: consumed only when
+/// the next token does not look like another flag.
+fn take_cache_dir(it: &mut std::slice::Iter<'_, String>) -> String {
+    match it.clone().next() {
+        Some(v) if !v.starts_with('-') => {
+            it.next();
+            v.clone()
+        }
+        _ => DEFAULT_CACHE_DIR.to_owned(),
+    }
+}
+
+/// Parses a `--cache-mode` operand.
+fn parse_cache_mode(v: &str) -> Result<CachePolicy, String> {
+    match v.to_ascii_lowercase().as_str() {
+        "rw" | "read-write" => Ok(CachePolicy::ReadWrite),
+        "ro" | "read-only" => Ok(CachePolicy::ReadOnly),
+        "refresh" => Ok(CachePolicy::Refresh),
+        other => Err(format!("unknown cache mode {other} (rw, ro, refresh)")),
+    }
+}
+
+/// Builds the [`SimCache`] from parsed `--cache` / `--cache-mode`
+/// flags; a mode without `--cache` is rejected instead of silently
+/// ignored.
+fn build_cache(dir: Option<String>, mode: Option<CachePolicy>) -> Result<Option<SimCache>, String> {
+    match (dir, mode) {
+        (Some(dir), mode) => Ok(Some(SimCache::new(dir, mode.unwrap_or_default()))),
+        (None, Some(_)) => Err("--cache-mode needs --cache".to_owned()),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Prints the cache tally line (to stderr: the deterministic artifact
+/// and `--json` streams stay byte-identical with the cache on or off).
+fn report_cache_outcome(cache: Option<&SimCache>, cells: usize) {
+    if let Some(cache) = cache {
+        eprintln!(
+            "cache: {}/{} cells hit, {} stored ({})",
+            cache.hits(),
+            cells,
+            cache.stores(),
+            cache.store().root().display()
+        );
+    }
 }
 
 /// Flags shared by the `bp grid` and `bp report` sweep commands, plus
@@ -284,12 +349,14 @@ struct SweepFlags {
     warmup: Option<u64>,
     out_dir: String,
     strategy: GridStrategy,
+    cache: Option<SimCache>,
 }
 
 /// Parses the shared sweep flags (`--jobs`, `--instr`, `--json`,
-/// `--family`, `--predictors`). `command` names the subcommand for
-/// error messages; `report_flags` additionally enables `--warmup` and
-/// `--out-dir`, while `grid` alone takes `--strategy`.
+/// `--family`, `--predictors`, `--cache [DIR]`, `--cache-mode M`).
+/// `command` names the subcommand for error messages; `report_flags`
+/// additionally enables `--warmup` and `--out-dir`, while `grid` alone
+/// takes `--strategy`.
 fn parse_sweep_flags(
     command: &str,
     flags: &[String],
@@ -305,15 +372,23 @@ fn parse_sweep_flags(
         warmup: None,
         out_dir: ".".to_owned(),
         strategy: GridStrategy::Auto,
+        cache: None,
     };
+    let mut cache_dir: Option<String> = None;
+    let mut cache_mode: Option<CachePolicy> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
+        if flag == "--cache" {
+            cache_dir = Some(take_cache_dir(&mut it));
+            continue;
+        }
         let mut value = |what: &str| {
             it.next()
                 .map(String::as_str)
                 .ok_or_else(|| format!("{flag} needs a {what}"))
         };
         match flag.as_str() {
+            "--cache-mode" => cache_mode = Some(parse_cache_mode(value("cache mode")?)?),
             "--jobs" => {
                 let v = value("worker count")?;
                 parsed.jobs = Some(
@@ -379,6 +454,7 @@ fn parse_sweep_flags(
             other => return Err(format!("unknown {command} flag {other}")),
         }
     }
+    parsed.cache = build_cache(cache_dir, cache_mode)?;
     Ok(parsed)
 }
 
@@ -393,12 +469,14 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
         instructions,
         predictors,
         strategy,
+        cache,
         ..
     } = parse_sweep_flags("grid", flags, 1_000_000, registry(), false)?;
 
     let engine = jobs
         .map_or_else(Engine::new, Engine::with_jobs)
-        .with_strategy(strategy);
+        .with_strategy(strategy)
+        .with_cache(cache);
     let started = std::time::Instant::now();
     let show_progress = !json;
     let grid = engine.run_grid_with_progress(&predictors, &benchmarks, instructions, &|update| {
@@ -414,6 +492,7 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
     if show_progress {
         eprintln!();
     }
+    report_cache_outcome(engine.cache(), predictors.len() * benchmarks.len());
 
     if json {
         println!(
@@ -428,7 +507,7 @@ fn run_grid(suite_name: &str, flags: &[String]) -> Result<(), String> {
             .enumerate()
             .map(|(p, (name, mean))| (p, name, mean))
             .collect();
-        means.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
+        means.sort_by(|a, b| a.2.total_cmp(&b.2));
         for (p, name, mean) in means {
             // Resolve storage from the specs actually run (a --config
             // file's custom names are not in the global registry).
@@ -482,6 +561,7 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
         warmup,
         out_dir,
         strategy: _,
+        cache,
     } = parse_sweep_flags("report", flags, 500_000, default_predictors, true)?;
     // Default warmup: the first fifth of each benchmark.
     let warmup = warmup.unwrap_or(instructions / 5);
@@ -493,13 +573,14 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
 
     let engine = jobs.map_or_else(Engine::new, Engine::with_jobs);
     let show_progress = !json;
-    let report = run_report(
+    let report = run_report_with_cache(
         &suite_name.to_ascii_lowercase(),
         &predictors,
         &benchmarks,
         instructions,
         warmup,
         engine.jobs(),
+        cache.as_ref(),
         &|update| {
             if show_progress {
                 eprint!(
@@ -513,6 +594,7 @@ fn run_report_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
     if show_progress {
         eprintln!();
     }
+    report_cache_outcome(cache.as_ref(), predictors.len() * benchmarks.len());
 
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
     let stem = format!("REPORT_{}", suite_name.to_ascii_lowercase());
@@ -587,14 +669,21 @@ fn run_scenario_cmd(spec_arg: &str, flags: &[String]) -> Result<(), String> {
     let mut jobs: Option<usize> = None;
     let mut json = false;
     let mut out_dir = ".".to_owned();
+    let mut cache_dir: Option<String> = None;
+    let mut cache_mode: Option<CachePolicy> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
+        if flag == "--cache" {
+            cache_dir = Some(take_cache_dir(&mut it));
+            continue;
+        }
         let mut value = |what: &str| {
             it.next()
                 .map(String::as_str)
                 .ok_or_else(|| format!("{flag} needs a {what}"))
         };
         match flag.as_str() {
+            "--cache-mode" => cache_mode = Some(parse_cache_mode(value("cache mode")?)?),
             "--jobs" => {
                 let v = value("worker count")?;
                 jobs = Some(
@@ -645,21 +734,29 @@ fn run_scenario_cmd(spec_arg: &str, flags: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown scenario flag {other}")),
         }
     }
+    let cache = build_cache(cache_dir, cache_mode)?;
 
     let engine = jobs.map_or_else(Engine::new, Engine::with_jobs);
     let show_progress = !json;
-    let report = run_scenario(&scenario, &predictors, engine.jobs(), &|update| {
-        if show_progress {
-            eprint!(
-                "\r[{}/{}] {} on {} ({:.3} MPKI)          ",
-                update.completed, update.total, update.predictor, update.benchmark, update.mpki
-            );
-            let _ = std::io::stderr().flush();
-        }
-    })?;
+    let report = run_scenario_with_cache(
+        &scenario,
+        &predictors,
+        engine.jobs(),
+        cache.as_ref(),
+        &|update| {
+            if show_progress {
+                eprint!(
+                    "\r[{}/{}] {} on {} ({:.3} MPKI)          ",
+                    update.completed, update.total, update.predictor, update.benchmark, update.mpki
+                );
+                let _ = std::io::stderr().flush();
+            }
+        },
+    )?;
     if show_progress {
         eprintln!();
     }
+    report_cache_outcome(cache.as_ref(), predictors.len());
 
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
     let stem = format!("SCENARIO_{}", report.scenario);
@@ -721,14 +818,21 @@ fn run_sweep_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut quick = false;
     let mut out_dir = ".".to_owned();
+    let mut cache_dir: Option<String> = None;
+    let mut cache_mode: Option<CachePolicy> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
+        if flag == "--cache" {
+            cache_dir = Some(take_cache_dir(&mut it));
+            continue;
+        }
         let mut value = |what: &str| {
             it.next()
                 .map(String::as_str)
                 .ok_or_else(|| format!("{flag} needs a {what}"))
         };
         match flag.as_str() {
+            "--cache-mode" => cache_mode = Some(parse_cache_mode(value("cache mode")?)?),
             "--budgets" => {
                 budgets = value("comma-separated Kbit list")?
                     .split(',')
@@ -789,16 +893,18 @@ fn run_sweep_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
         return Err("sweep needs at least one budget and one family".to_owned());
     }
 
+    let cache = build_cache(cache_dir, cache_mode)?;
     let engine_jobs = jobs.unwrap_or_else(|| Engine::new().jobs());
     let show_progress = !json;
     let started = std::time::Instant::now();
-    let report = run_sweep(
+    let report = run_sweep_with_cache(
         &suite_name.to_ascii_lowercase(),
         &benchmarks,
         &budgets,
         &families,
         instructions,
         engine_jobs,
+        cache.as_ref(),
         &|update| {
             if show_progress {
                 eprint!(
@@ -814,6 +920,10 @@ fn run_sweep_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
     if show_progress {
         eprintln!();
     }
+    report_cache_outcome(
+        cache.as_ref(),
+        budgets.len() * families.len() * benchmarks.len(),
+    );
 
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
     let stem = format!("SWEEP_{}", suite_name.to_ascii_lowercase());
@@ -858,6 +968,41 @@ fn run_sweep_cmd(suite_name: &str, flags: &[String]) -> Result<(), String> {
             md_path.display(),
             json_path.display(),
         );
+    }
+    Ok(())
+}
+
+/// Parses and runs `bp cache <stats|gc|clear> [DIR]`: result-cache
+/// maintenance. Output is deterministic for a given cache state — the
+/// store walks its directories in sorted order and prints plain
+/// counts, no timestamps or wall-clock.
+fn run_cache_cmd(args: &[String]) -> Result<(), String> {
+    let (action, dir) = match args {
+        [action] => (action.as_str(), DEFAULT_CACHE_DIR),
+        [action, dir] => (action.as_str(), dir.as_str()),
+        _ => return Err("usage: bp cache <stats|gc|clear> [DIR]".to_owned()),
+    };
+    let store = CacheStore::new(dir);
+    match action {
+        "stats" => {
+            let stats = store.stats();
+            println!(
+                "{dir}: {} entries, {} bytes, {} invalid files",
+                stats.entries, stats.bytes, stats.invalid
+            );
+        }
+        "gc" => {
+            let outcome = store.gc();
+            println!(
+                "{dir}: kept {} entries, removed {} invalid files",
+                outcome.kept, outcome.removed
+            );
+        }
+        "clear" => {
+            let removed = store.clear();
+            println!("{dir}: removed {removed} entries");
+        }
+        other => return Err(format!("unknown cache action {other} (stats, gc, clear)")),
     }
     Ok(())
 }
@@ -951,11 +1096,25 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
     let mut gate_pct: Option<f64> = None;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut cache = false;
+    let mut cache_dir: Option<String> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--quick" => quick = true,
             "--sim" => sim = true,
+            "--cache" => {
+                cache = true;
+                // Optional DIR operand; without one the bench uses a
+                // throwaway scratch directory (never `.bp-cache` — the
+                // cold leg clears the store every repetition).
+                if let Some(v) = it.clone().next() {
+                    if !v.starts_with('-') {
+                        cache_dir = Some(v.clone());
+                        it.next();
+                    }
+                }
+            }
             "--instr" => {
                 let v = it.next().ok_or("--instr needs an instruction count")?;
                 instr = Some(parse_u64(v, "instruction count")?);
@@ -990,8 +1149,8 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
     if quick && instr.is_some() {
         return Err("--quick and --instr are mutually exclusive".to_owned());
     }
-    if (baseline_path.is_some() || reps.is_some()) && !sim {
-        return Err("--baseline and --reps only apply to bench --sim".to_owned());
+    if (baseline_path.is_some() || reps.is_some() || cache) && !sim {
+        return Err("--baseline, --reps, and --cache only apply to bench --sim".to_owned());
     }
     if gate_pct.is_some() && baseline_path.is_none() {
         return Err("--gate-pct needs a --baseline to gate against".to_owned());
@@ -1004,6 +1163,7 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
             gate_pct,
             out_path.unwrap_or_else(|| "BENCH_sim.json".to_owned()),
             baseline_path,
+            cache.then_some(cache_dir),
         );
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_trace_io.json".to_owned());
@@ -1053,7 +1213,11 @@ fn run_bench(flags: &[String]) -> Result<(), String> {
 /// `bp_bench::sim_bench`), written as JSON to `BENCH_sim.json` (or
 /// `--out`) and summarized on stdout. `--baseline FILE` embeds a
 /// previous run's records/sec as the comparison baseline; `--quick` is
-/// the CI smoke setting.
+/// the CI smoke setting. `cache` is `Some` when `--cache` was given:
+/// `Some(Some(dir))` measures the result-cache leg in `dir` (cleared
+/// between cold repetitions), `Some(None)` in a throwaway scratch
+/// directory removed afterwards.
+#[allow(clippy::option_option)]
 fn run_sim_bench_cmd(
     quick: bool,
     instr: Option<u64>,
@@ -1061,6 +1225,7 @@ fn run_sim_bench_cmd(
     gate_pct: Option<f64>,
     out_path: String,
     baseline_path: Option<String>,
+    cache: Option<Option<String>>,
 ) -> Result<(), String> {
     let instructions = instr.unwrap_or(if quick { 200_000 } else { 2_000_000 });
     // The grid leg covers 12 predictors × 8 benchmarks; run it at the
@@ -1080,7 +1245,28 @@ fn run_sim_bench_cmd(
         None => Vec::new(),
     };
 
-    let report = run_sim_bench(instructions, grid_instructions, reps, &baseline);
+    // --cache without DIR gets a pid-scoped scratch store, removed
+    // afterwards; an explicit DIR is the caller's to keep (and clear).
+    let (cache_path, cache_scratch) = match &cache {
+        Some(Some(dir)) => (Some(std::path::PathBuf::from(dir)), false),
+        Some(None) => (
+            Some(std::env::temp_dir().join(format!("bp-bench-cache-{}", std::process::id()))),
+            true,
+        ),
+        None => (None, false),
+    };
+    let report = run_sim_bench(
+        instructions,
+        grid_instructions,
+        reps,
+        &baseline,
+        cache_path.as_deref(),
+    );
+    if cache_scratch {
+        if let Some(path) = &cache_path {
+            let _ = std::fs::remove_dir_all(path);
+        }
+    }
     std::fs::write(&out_path, report.to_json())
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
@@ -1129,7 +1315,7 @@ fn run_sim_bench_cmd(
     let g = &report.grid;
     println!(
         "grid: {} predictors x {} benchmarks at {} instructions, {} jobs: \
-         per-cell {:.2}s, fused {:.2}s ({:.2}x), results identical: {}\nwrote {out_path}",
+         per-cell {:.2}s, fused {:.2}s ({:.2}x), results identical: {}",
         g.predictors,
         g.benchmarks,
         g.instructions,
@@ -1139,6 +1325,25 @@ fn run_sim_bench_cmd(
         g.fused_speedup(),
         g.fused_matches_per_cell,
     );
+    if let Some(c) = &report.cache {
+        println!(
+            "cache: {} cells at {} instructions, {} jobs: uncached {:.3}s, \
+             cold {:.3}s ({:.2}x overhead), warm {:.4}s ({:.0}x speedup), \
+             warm hits {}/{}, results identical: {}",
+            c.cells,
+            c.instructions,
+            c.jobs,
+            c.uncached.min_seconds,
+            c.cold.min_seconds,
+            c.cold_overhead(),
+            c.warm.min_seconds,
+            c.warm_speedup(),
+            c.warm_hits,
+            c.cells,
+            c.warm_matches_uncached,
+        );
+    }
+    println!("wrote {out_path}");
     if let Some(pct) = gate_pct {
         let regressions = throughput_regressions(&report, pct);
         if regressions.is_empty() {

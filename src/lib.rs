@@ -19,6 +19,9 @@
 //! * [`sim`] — the trace-driven simulator, predictor registry,
 //!   experiment harnesses, and the attributed reporting layer behind
 //!   `bp report`,
+//! * [`cache`] — the content-addressed on-disk result cache behind
+//!   `--cache` and `bp cache` (hand-rolled 128-bit content hash,
+//!   verify-then-trust envelopes),
 //! * [`mod@bench`] — experiment harness helpers and the trace-I/O
 //!   throughput benchmark behind `bp bench`,
 //! * [`lint`] — the workspace invariant lint engine behind `bp lint`:
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use bp_bench as bench;
+pub use bp_cache as cache;
 pub use bp_components as components;
 pub use bp_gehl as gehl;
 pub use bp_history as history;
