@@ -37,6 +37,7 @@ mod gshare;
 mod hash;
 mod kernel;
 mod loop_pred;
+mod pipeline;
 mod predictor;
 mod sum;
 mod threshold;
@@ -54,6 +55,7 @@ pub use gshare::GShare;
 pub use hash::{fold_u64, mix64, pc_bits};
 pub use kernel::{prefetch_read, sum_centered, sum_centered_padded, sum_i8, sum_i8_reference};
 pub use loop_pred::{LoopPrediction, LoopPredictor, LoopPredictorConfig};
+pub use pipeline::{clamp_pipeline_depth, DriveMode, DEFAULT_PIPELINE_DEPTH, MAX_PIPELINE_DEPTH};
 pub use predictor::{AlwaysTaken, ConditionalPredictor, PredictorStats};
 pub use sum::{CounterBank, SignedCounterTable, SumComponent, SumCtx};
 pub use threshold::AdaptiveThreshold;

@@ -1,0 +1,114 @@
+//! The block drive mode of the simulator's hot loop.
+//!
+//! Trace-driven simulation has a *purity invariant*: every table-index
+//! input — global/path folded history, IMLI counters, local histories —
+//! evolves as a pure function of `(PC, outcome)` taken straight from
+//! the trace. Predictions influence counters, usefulness bits, and
+//! allocation decisions, but those are *gather targets*, never index
+//! inputs. A front-end can therefore advance the index inputs ahead of
+//! the commit loop, capture every upcoming branch's table addresses and
+//! pure context as it goes, and issue prefetches many branches early —
+//! without changing a single predicted bit, and without duplicating the
+//! history-fold work (the dominant index-generation cost runs once per
+//! branch, exactly as in the scalar loop, just earlier).
+//!
+//! [`DriveMode`] selects between the two bit-identical drive loops:
+//!
+//! * [`Pipelined`](DriveMode::Pipelined) (default) — per chunk of
+//!   [`DEFAULT_PIPELINE_DEPTH`] records, a front-end pass computes each
+//!   branch's index/tag streams into pre-sized scratch, hints their
+//!   table rows, and advances the architectural index inputs; the
+//!   back-end pass then predicts through the precomputed addresses and
+//!   performs the prediction-dependent training, in trace order.
+//! * [`Scalar`](DriveMode::Scalar) — the reference loop: one branch at
+//!   a time, indices computed at lookup, one-record lookahead prefetch
+//!   only. The escape hatch for equivalence cross-checks (CI drives a
+//!   small grid in both modes and compares the JSON byte-for-byte) and
+//!   for predictors that never opt in.
+//!
+//! Predictors that cannot pipeline (no overridden
+//! [`run_block`](crate::ConditionalPredictor::run_block)) run the
+//! scalar protocol in either mode, so `DriveMode` is purely a
+//! performance knob — the determinism tests pin that it can never
+//! change a result.
+
+/// How the simulator drives a predictor through a block of records.
+///
+/// Both modes implement the identical CBP protocol and produce
+/// bit-identical results for every registry configuration (pinned by
+/// `tests/pipelined_equivalence.rs` and the CI grid cmp); they differ
+/// only in when table addresses are computed and prefetched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriveMode {
+    /// Reference per-record loop: compute indices at lookup time,
+    /// prefetch at most one branch ahead.
+    Scalar,
+    /// Decoupled front-end/back-end block loop: the index inputs run
+    /// [`pipeline depth`](DEFAULT_PIPELINE_DEPTH) branches ahead of the
+    /// commit loop, precomputing and prefetching table addresses.
+    #[default]
+    Pipelined,
+}
+
+impl DriveMode {
+    /// Parses a CLI spelling (`"scalar"` / `"pipelined"`).
+    pub fn parse(s: &str) -> Option<DriveMode> {
+        match s {
+            "scalar" => Some(DriveMode::Scalar),
+            "pipelined" => Some(DriveMode::Pipelined),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            DriveMode::Scalar => "scalar",
+            DriveMode::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// Default pipeline distance D: how many branches the front-end plans
+/// (and prefetches) ahead of the commit loop. 16 sits on the flat top
+/// of the sweep recorded in `BENCH_sim.json` — deep enough to cover
+/// DRAM latency for the 12-bank TAGE gather, shallow enough that the
+/// planned rows are still cache-resident at commit.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 16;
+
+/// Upper bound on the pipeline distance; per-predictor plan scratch is
+/// pre-sized to this at construction so
+/// [`set_pipeline_depth`](crate::ConditionalPredictor::set_pipeline_depth)
+/// never allocates.
+pub const MAX_PIPELINE_DEPTH: usize = 64;
+
+/// Clamps a requested pipeline distance into the supported range.
+#[inline]
+pub fn clamp_pipeline_depth(depth: usize) -> usize {
+    depth.clamp(1, MAX_PIPELINE_DEPTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_pipelined() {
+        assert_eq!(DriveMode::default(), DriveMode::Pipelined);
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for mode in [DriveMode::Scalar, DriveMode::Pipelined] {
+            assert_eq!(DriveMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(DriveMode::parse("warp"), None);
+    }
+
+    #[test]
+    fn depth_clamps_to_supported_range() {
+        assert_eq!(clamp_pipeline_depth(0), 1);
+        assert_eq!(clamp_pipeline_depth(16), 16);
+        assert_eq!(clamp_pipeline_depth(10_000), MAX_PIPELINE_DEPTH);
+    }
+}

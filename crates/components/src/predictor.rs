@@ -108,10 +108,31 @@ pub trait ConditionalPredictor: StorageBudget {
     /// body's `predict`/`update`/`notify_nonconditional` calls dispatch
     /// statically (and inline) inside the predictor's own copy, costing
     /// one virtual call per **block** instead of three per **record**.
-    /// Implementations must not override this with anything but the
-    /// identical protocol — the fused==per-cell and prefetch
-    /// equivalence tests pin the semantics.
+    ///
+    /// This is the [`DriveMode::Pipelined`](crate::DriveMode) entry
+    /// point: table-backed hosts override it with their decoupled
+    /// front-end/back-end block loop. Overrides must implement the
+    /// **identical protocol bit-for-bit** — same predictions, same
+    /// training, same post-run storage state as
+    /// [`run_block_scalar`](ConditionalPredictor::run_block_scalar) —
+    /// and be allocation-free in steady state; the pipelined
+    /// equivalence tests and the CI grid cmp pin the semantics. The
+    /// default is the scalar protocol.
     fn run_block(&mut self, block: &[BranchRecord], stats: &mut PredictorStats) {
+        self.run_block_scalar(block, stats);
+    }
+
+    /// The reference scalar block drive: one record at a time with the
+    /// CBP protocol, including the one-record lookahead
+    /// [`prefetch`](ConditionalPredictor::prefetch) hint for predictors
+    /// that opt in via
+    /// [`wants_prefetch`](ConditionalPredictor::wants_prefetch).
+    ///
+    /// This is the [`DriveMode::Scalar`](crate::DriveMode) entry point
+    /// and the oracle the pipelined overrides are tested against.
+    /// Implementations must **never** override it — it defines the
+    /// protocol.
+    fn run_block_scalar(&mut self, block: &[BranchRecord], stats: &mut PredictorStats) {
         if self.wants_prefetch() {
             for (i, record) in block.iter().enumerate() {
                 // Peek one record ahead and hint its lookup rows so the
@@ -130,6 +151,33 @@ pub trait ConditionalPredictor: StorageBudget {
                 step_record(self, record, stats);
             }
         }
+    }
+
+    /// Runs only the pipelined *front-end* over `block`: index/tag
+    /// planning, prefetch issue, and the pure index-input advance — no
+    /// predictions, no prediction-dependent training.
+    ///
+    /// A benchmarking probe (the per-phase timing breakdown in
+    /// `bp bench --sim` times this pass alone, on a throwaway predictor
+    /// instance — the front end advances the index inputs, so a probed
+    /// predictor must not then be used for accuracy measurements); the
+    /// default for non-pipelined predictors does nothing.
+    fn run_block_frontend(&mut self, block: &[BranchRecord]) {
+        let _ = block;
+    }
+
+    /// Sets the pipeline distance D — how many branches the pipelined
+    /// front-end plans and prefetches ahead of the commit loop.
+    ///
+    /// Implementations clamp to
+    /// [`1..=MAX_PIPELINE_DEPTH`](crate::MAX_PIPELINE_DEPTH) against
+    /// pre-sized scratch, so this never allocates and any depth is
+    /// safe. A pure performance knob: predictions are bit-identical at
+    /// every depth (the purity invariant — see [`crate::DriveMode`]).
+    /// The default (for predictors without a pipelined path) ignores
+    /// it.
+    fn set_pipeline_depth(&mut self, depth: usize) {
+        let _ = depth;
     }
 
     /// A short human-readable configuration name, e.g. `"TAGE-GSC+IMLI"`.
@@ -194,6 +242,18 @@ impl ConditionalPredictor for Box<dyn ConditionalPredictor + Send> {
         (**self).run_block(block, stats)
     }
 
+    fn run_block_scalar(&mut self, block: &[BranchRecord], stats: &mut PredictorStats) {
+        (**self).run_block_scalar(block, stats)
+    }
+
+    fn run_block_frontend(&mut self, block: &[BranchRecord]) {
+        (**self).run_block_frontend(block)
+    }
+
+    fn set_pipeline_depth(&mut self, depth: usize) {
+        (**self).set_pipeline_depth(depth)
+    }
+
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -222,6 +282,7 @@ impl ConditionalPredictor for AlwaysTaken {
     }
 }
 
+// bp-lint: allow-item(hot-path-alloc, "storage accounting is cold; never on the per-branch path")
 impl StorageBudget for AlwaysTaken {
     fn storage_items(&self) -> Vec<StorageItem> {
         Vec::new()

@@ -215,16 +215,20 @@ pub fn default_policy() -> Policy {
     Policy {
         hot_modules: &[
             "crates/tage/src/tage.rs",
+            "crates/tage/src/composed.rs",
             "crates/gehl/src/gehl.rs",
             "crates/perceptron/src/lib.rs",
             "crates/components/src/sum.rs",
             "crates/components/src/kernel.rs",
+            "crates/components/src/pipeline.rs",
+            "crates/components/src/predictor.rs",
             "crates/history/src/state.rs",
             "crates/sim/src/run.rs",
             "crates/workloads/src/combinators.rs",
         ],
         deterministic_modules: &[
             "crates/cache/src/lib.rs",
+            "crates/components/src/pipeline.rs",
             "crates/sim/src/cache.rs",
             "crates/sim/src/report.rs",
             "crates/sim/src/scenario.rs",

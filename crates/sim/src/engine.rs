@@ -29,9 +29,9 @@
 
 use crate::cache::{grid_cell_key, CacheKey, SimCache};
 use crate::registry::PredictorSpec;
-use crate::run::{simulate_stream, simulate_stream_multi, SimResult};
+use crate::run::{simulate_stream_mode, simulate_stream_multi_mode, SimResult};
 use crate::suite::SuiteResult;
-use bp_components::ConditionalPredictor;
+use bp_components::{ConditionalPredictor, DriveMode};
 use bp_workloads::BenchmarkSpec;
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
@@ -52,7 +52,7 @@ use std::sync::Mutex;
 /// * [`FusedColumns`](GridStrategy::FusedColumns) — one work unit per
 ///   *benchmark column*; the column generates its stream **once** and
 ///   broadcasts every record to all predictors via
-///   [`simulate_stream_multi`]. `N`× less generation/decode work, but
+///   [`crate::simulate_stream_multi`]. `N`× less generation/decode work, but
 ///   only `benchmarks` parallel units.
 /// * [`Auto`](GridStrategy::Auto) (default) — fuse columns when the
 ///   shape profits: at least two predictors share each decode and there
@@ -91,6 +91,7 @@ pub struct Engine {
     jobs: usize,
     strategy: GridStrategy,
     cache: Option<SimCache>,
+    drive_mode: DriveMode,
 }
 
 impl Default for Engine {
@@ -106,6 +107,7 @@ impl Engine {
             jobs: std::thread::available_parallelism().map_or(4, NonZeroUsize::get),
             strategy: GridStrategy::default(),
             cache: None,
+            drive_mode: DriveMode::default(),
         }
     }
 
@@ -116,7 +118,23 @@ impl Engine {
             jobs: jobs.max(1),
             strategy: GridStrategy::default(),
             cache: None,
+            drive_mode: DriveMode::default(),
         }
+    }
+
+    /// Sets the [`DriveMode`] every grid cell is simulated with
+    /// (default: [`DriveMode::Pipelined`]). The two modes are
+    /// bit-identical by contract, so this is an escape hatch /
+    /// verification knob, not a results knob.
+    #[must_use]
+    pub fn with_drive_mode(mut self, drive_mode: DriveMode) -> Self {
+        self.drive_mode = drive_mode;
+        self
+    }
+
+    /// The configured drive mode.
+    pub fn drive_mode(&self) -> DriveMode {
+        self.drive_mode
     }
 
     /// Sets the grid scheduling strategy (default:
@@ -201,7 +219,11 @@ impl Engine {
                 let spec = &predictors[idx / benchmarks.len()];
                 let bench = &benchmarks[idx % benchmarks.len()];
                 let mut predictor = spec.make();
-                let result = simulate_stream(predictor.as_mut(), bench.stream(instructions));
+                let result = simulate_stream_mode(
+                    predictor.as_mut(),
+                    bench.stream(instructions),
+                    self.drive_mode,
+                );
                 let label = CellLabel {
                     predictor: &spec.name,
                     benchmark: &bench.name,
@@ -316,7 +338,11 @@ impl Engine {
                         .iter()
                         .map(|&p| predictors[p].make())
                         .collect();
-                    let results = simulate_stream_multi(&mut column, bench.stream(instructions));
+                    let results = simulate_stream_multi_mode(
+                        &mut column,
+                        bench.stream(instructions),
+                        self.drive_mode,
+                    );
                     let labels = column_preds[b]
                         .iter()
                         .zip(&results)
@@ -349,7 +375,11 @@ impl Engine {
                     let spec = &predictors[idx / n_b];
                     let bench = &benchmarks[idx % n_b];
                     let mut predictor = spec.make();
-                    let result = simulate_stream(predictor.as_mut(), bench.stream(instructions));
+                    let result = simulate_stream_mode(
+                        predictor.as_mut(),
+                        bench.stream(instructions),
+                        self.drive_mode,
+                    );
                     let label = CellLabel {
                         predictor: &spec.name,
                         benchmark: &bench.name,
@@ -426,7 +456,11 @@ impl Engine {
                 let bench = &benchmarks[b];
                 let mut column: Vec<Box<dyn ConditionalPredictor + Send>> =
                     predictors.iter().map(PredictorSpec::make).collect();
-                let results = simulate_stream_multi(&mut column, bench.stream(instructions));
+                let results = simulate_stream_multi_mode(
+                    &mut column,
+                    bench.stream(instructions),
+                    self.drive_mode,
+                );
                 let labels = predictors
                     .iter()
                     .zip(&results)

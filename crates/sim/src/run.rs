@@ -1,6 +1,6 @@
 //! Single-benchmark simulation.
 
-use bp_components::{ConditionalPredictor, PredictorStats};
+use bp_components::{ConditionalPredictor, DriveMode, PredictorStats};
 use bp_trace::{BranchStream, Trace};
 use std::fmt;
 
@@ -97,11 +97,25 @@ impl fmt::Display for Mpki {
 /// [`simulate_stream`], minus the per-record stream-cursor overhead,
 /// and bit-identical to it on the equivalent stream (the lookahead
 /// peek is `block[i + 1]` either way).
-// bp-lint: allow-item(hot-path-alloc, "per-run setup and result assembly, once per benchmark; the per-branch loop is drive_block, which is allocation-free (tests/hotpath_allocations.rs)")
 pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
+    simulate_mode(predictor, trace, DriveMode::default())
+}
+
+/// [`simulate`] with an explicit [`DriveMode`]: `Pipelined` drives the
+/// predictor's planned front-end/back-end block loop
+/// ([`ConditionalPredictor::run_block`]), `Scalar` the reference
+/// per-record protocol ([`ConditionalPredictor::run_block_scalar`]).
+/// The two produce bit-identical results for every predictor in the
+/// registry (`tests/pipelined_equivalence.rs`).
+// bp-lint: allow-item(hot-path-alloc, "per-run setup and result assembly, once per benchmark; the per-branch loop is drive_block, which is allocation-free (tests/hotpath_allocations.rs)")
+pub fn simulate_mode<P: ConditionalPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    mode: DriveMode,
+) -> SimResult {
     let records = trace.records();
     let mut stats = PredictorStats::default();
-    drive_block(predictor, records, &mut stats);
+    drive_block_mode(predictor, records, &mut stats, mode);
     SimResult {
         benchmark: trace.name().to_owned(),
         predictor: predictor.name().to_owned(),
@@ -119,11 +133,24 @@ pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Tra
 ///
 /// This is the simulator's native entry point: paired with a streaming
 /// producer (`bp_workloads::stream_benchmark`, `bp_trace::TraceReader`)
-/// it runs a benchmark of any length in O(1) memory. Produces
-/// bit-identical [`SimResult`]s to [`simulate`] on the materialized
-/// equivalent of the same stream.
-// bp-lint: allow-item(hot-path-alloc, "per-run setup and result assembly, once per benchmark; the per-branch loop is drive_block, which is allocation-free (tests/hotpath_allocations.rs)")
-pub fn simulate_stream<P, S>(predictor: &mut P, mut stream: S) -> SimResult
+/// it runs a benchmark of any length in O(`MULTI_BLOCK_RECORDS`)
+/// memory — the stream is pulled in blocks so the predictor's block
+/// drive (pipelined by default, see [`DriveMode`]) gets whole-record
+/// slices to plan over. Produces bit-identical [`SimResult`]s to
+/// [`simulate`] on the materialized equivalent of the same stream: the
+/// only cross-block difference is prefetch-hint timing, and
+/// [`ConditionalPredictor::prefetch`] is architecturally a no-op.
+pub fn simulate_stream<P, S>(predictor: &mut P, stream: S) -> SimResult
+where
+    P: ConditionalPredictor + ?Sized,
+    S: BranchStream,
+{
+    simulate_stream_mode(predictor, stream, DriveMode::default())
+}
+
+/// [`simulate_stream`] with an explicit [`DriveMode`].
+// bp-lint: allow-item(hot-path-alloc, "per-run setup, block buffer, and result assembly, once per benchmark; the per-branch loop is drive_block, which is allocation-free (tests/hotpath_allocations.rs)")
+pub fn simulate_stream_mode<P, S>(predictor: &mut P, mut stream: S, mode: DriveMode) -> SimResult
 where
     P: ConditionalPredictor + ?Sized,
     S: BranchStream,
@@ -132,45 +159,15 @@ where
     let mut stats = PredictorStats::default();
     let mut instructions = 0u64;
     let mut records = 0u64;
-    // One-record lookahead (only for predictors that opt in via
-    // `wants_prefetch` — the peek plus virtual dispatch is a measurable
-    // cost on the tiny L1-resident predictors): peek the next record
-    // and issue the predictor's prefetch hint for it *before* doing the
-    // current record's work, so the hinted table rows load in the
-    // shadow of a full predict/update. The hint uses history that is
-    // stale by one branch — fine, because
-    // [`ConditionalPredictor::prefetch`] is architecturally a no-op and
-    // results stay bit-identical either way.
-    if predictor.wants_prefetch() {
-        let mut next = stream.next_record();
-        while let Some(record) = next {
-            next = stream.next_record();
-            if let Some(peek) = &next {
-                if peek.is_conditional() {
-                    predictor.prefetch(peek.pc);
-                }
-            }
-            instructions += record.instructions();
-            records += 1;
-            if record.is_conditional() {
-                let pred = predictor.predict(record.pc);
-                stats.record(pred == record.taken);
-                predictor.update(&record);
-            } else {
-                predictor.notify_nonconditional(&record);
-            }
+    let mut block = Vec::with_capacity(MULTI_BLOCK_RECORDS);
+    loop {
+        fill_multi_block(&mut stream, &mut block, &mut instructions, &mut records);
+        if block.is_empty() {
+            break;
         }
-    } else {
-        while let Some(record) = stream.next_record() {
-            instructions += record.instructions();
-            records += 1;
-            if record.is_conditional() {
-                let pred = predictor.predict(record.pc);
-                stats.record(pred == record.taken);
-                predictor.update(&record);
-            } else {
-                predictor.notify_nonconditional(&record);
-            }
+        drive_block_mode(predictor, &block, &mut stats, mode);
+        if block.len() < MULTI_BLOCK_RECORDS {
+            break;
         }
     }
     SimResult {
@@ -232,6 +229,26 @@ pub fn drive_block<P: ConditionalPredictor + ?Sized>(
     predictor.run_block(block, stats);
 }
 
+/// [`drive_block`] with an explicit [`DriveMode`]:
+/// [`DriveMode::Pipelined`] dispatches the predictor's (possibly
+/// overridden, history-ahead) [`ConditionalPredictor::run_block`],
+/// [`DriveMode::Scalar`] the reference per-record loop
+/// ([`ConditionalPredictor::run_block_scalar`]), which no predictor may
+/// override. Bit-identical by contract; `tests/pipelined_equivalence.rs`
+/// pins it for every registry configuration.
+#[inline]
+pub fn drive_block_mode<P: ConditionalPredictor + ?Sized>(
+    predictor: &mut P,
+    block: &[bp_trace::BranchRecord],
+    stats: &mut PredictorStats,
+    mode: DriveMode,
+) {
+    match mode {
+        DriveMode::Pipelined => predictor.run_block(block, stats),
+        DriveMode::Scalar => predictor.run_block_scalar(block, stats),
+    }
+}
+
 /// Simulates *several* predictors over **one** pass of a
 /// [`BranchStream`] with the CBP protocol — the shared-decode core of
 /// the engine's fused column mode.
@@ -250,10 +267,22 @@ pub fn drive_block<P: ConditionalPredictor + ?Sized>(
 /// over equal streams.
 ///
 /// Returns one [`SimResult`] per predictor, in input order.
-// bp-lint: allow-item(hot-path-alloc, "per-run block buffer and result assembly, amortized over whole blocks; the per-branch loop is drive_block, which is allocation-free")
 pub fn simulate_stream_multi<S>(
     predictors: &mut [Box<dyn ConditionalPredictor + Send>],
+    stream: S,
+) -> Vec<SimResult>
+where
+    S: BranchStream,
+{
+    simulate_stream_multi_mode(predictors, stream, DriveMode::default())
+}
+
+/// [`simulate_stream_multi`] with an explicit [`DriveMode`].
+// bp-lint: allow-item(hot-path-alloc, "per-run block buffer and result assembly, amortized over whole blocks; the per-branch loop is drive_block, which is allocation-free")
+pub fn simulate_stream_multi_mode<S>(
+    predictors: &mut [Box<dyn ConditionalPredictor + Send>],
     mut stream: S,
+    mode: DriveMode,
 ) -> Vec<SimResult>
 where
     S: BranchStream,
@@ -269,7 +298,7 @@ where
             break;
         }
         for (predictor, stats) in predictors.iter_mut().zip(stats.iter_mut()) {
-            drive_block(predictor, &block, stats);
+            drive_block_mode(predictor, &block, stats, mode);
         }
         if block.len() < MULTI_BLOCK_RECORDS {
             break;

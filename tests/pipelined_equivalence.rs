@@ -1,0 +1,227 @@
+//! Bit-equivalence proof for the history-ahead pipelined drive mode.
+//!
+//! The pipelined block drive ([`DriveMode::Pipelined`], the default)
+//! runs an index-generation front end `pipeline_depth` branches ahead
+//! of the commit loop: it advances the architectural index inputs
+//! itself, capturing each branch's addresses and pure context into plan
+//! scratch as it goes. Its whole justification is the purity invariant:
+//! in trace-driven simulation every index input evolves as a pure
+//! function of `(pc, outcome)` from the trace — never of a prediction —
+//! so the plan captured at branch *i* equals what the scalar lookup
+//! would compute there, and the two drive modes must agree **bit for
+//! bit** — same statistics, same MPKI, same attribution stream, same
+//! post-run predictor state — for every registry configuration, at
+//! every block boundary, and across context-switch flushes.
+//!
+//! [`DriveMode::Pipelined`]: imli_repro::sim::DriveMode
+
+use imli_repro::components::{ConditionalPredictor, PredictorStats};
+use imli_repro::sim::{
+    drive_block_mode, make_predictor, registry, scenario_by_name, simulate_mode, DriveMode,
+};
+use imli_repro::trace::BranchRecord;
+use imli_repro::workloads::{cbp4_suite, generate, ScenarioEvent};
+
+const INSTRUCTIONS: u64 = 60_000;
+
+/// Hosts with a hand-written pipelined front end (everything else
+/// inherits the default `run_block`, where the two modes are trivially
+/// the same loop).
+const PIPELINED_HOSTS: [&str; 6] = [
+    "tage-sc-l+imli",
+    "tage-sc-l",
+    "tage-gsc+imli",
+    "ftl+imli",
+    "gehl+imli",
+    "perceptron+imli",
+];
+
+fn drive_in_blocks(
+    predictor: &mut (dyn ConditionalPredictor + Send),
+    records: &[BranchRecord],
+    block_len: usize,
+    mode: DriveMode,
+) -> PredictorStats {
+    let mut stats = PredictorStats::default();
+    for block in records.chunks(block_len) {
+        drive_block_mode(predictor, block, &mut stats, mode);
+    }
+    stats
+}
+
+#[test]
+fn pipelined_matches_scalar_for_every_registry_config() {
+    let suite = cbp4_suite();
+    let trace = generate(&suite[0], INSTRUCTIONS);
+    let probe = generate(&suite[1], INSTRUCTIONS / 2);
+    let specs = registry();
+    assert!(specs.len() >= 20, "registry unexpectedly small");
+
+    for spec in &specs {
+        let mut pipelined = spec.make();
+        let mut scalar = spec.make();
+        let p = simulate_mode(pipelined.as_mut(), &trace, DriveMode::Pipelined);
+        let s = simulate_mode(scalar.as_mut(), &trace, DriveMode::Scalar);
+        assert_eq!(p, s, "{}: drive modes diverged", spec.name);
+        assert_eq!(p.mpki(), s.mpki(), "{}: MPKI diverged", spec.name);
+
+        // Post-run state equivalence: if any table, counter, history,
+        // or threshold ended up different, a scalar continuation run
+        // from each end state would diverge.
+        let p2 = simulate_mode(pipelined.as_mut(), &probe, DriveMode::Scalar);
+        let s2 = simulate_mode(scalar.as_mut(), &probe, DriveMode::Scalar);
+        assert_eq!(
+            p2, s2,
+            "{}: post-run predictor state diverged between drive modes",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn block_boundaries_are_invisible() {
+    let trace = generate(&cbp4_suite()[0], INSTRUCTIONS);
+    let records = trace.records();
+    for name in PIPELINED_HOSTS {
+        let mut scalar = make_predictor(name).expect("registered");
+        let mut scalar_stats = PredictorStats::default();
+        drive_block_mode(
+            scalar.as_mut(),
+            records,
+            &mut scalar_stats,
+            DriveMode::Scalar,
+        );
+        // 4095/4096/4097 straddle the simulator's block size; 1 forces
+        // a plan/commit round trip on every record; 61 keeps chunks and
+        // blocks misaligned throughout.
+        for block_len in [1usize, 61, 4095, 4096, 4097] {
+            let mut pipelined = make_predictor(name).expect("registered");
+            let stats =
+                drive_in_blocks(pipelined.as_mut(), records, block_len, DriveMode::Pipelined);
+            assert_eq!(
+                stats, scalar_stats,
+                "{name}: pipelined drive diverged at block length {block_len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_pipeline_depth_is_bit_identical() {
+    let trace = generate(&cbp4_suite()[2], INSTRUCTIONS);
+    let records = trace.records();
+    for name in ["tage-sc-l+imli", "ftl+imli", "perceptron+imli"] {
+        let mut scalar = make_predictor(name).expect("registered");
+        let mut scalar_stats = PredictorStats::default();
+        drive_block_mode(
+            scalar.as_mut(),
+            records,
+            &mut scalar_stats,
+            DriveMode::Scalar,
+        );
+        // 0 and 1000 exercise the clamp at both ends.
+        for depth in [0usize, 1, 3, 16, 64, 1000] {
+            let mut pipelined = make_predictor(name).expect("registered");
+            pipelined.set_pipeline_depth(depth);
+            let stats = drive_in_blocks(pipelined.as_mut(), records, 4096, DriveMode::Pipelined);
+            assert_eq!(
+                stats, scalar_stats,
+                "{name}: pipelined drive diverged at depth {depth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flushes_between_blocks_match_scalar() {
+    // Replay a multi-tenant scenario with partial context-switch
+    // flushes through both drive modes: records accumulate into blocks,
+    // each flush drains the pending block and then flushes history —
+    // exactly the interplay where a plan captured before the flush
+    // would poison the next block if the block boundaries leaked.
+    let scenario = scenario_by_name("paper_switch").expect("builtin");
+    let mut events = scenario.events();
+    let mut all: Vec<ScenarioEvent> = Vec::new();
+    while let Some(ev) = events.next_event() {
+        all.push(ev);
+    }
+    let flushes = all
+        .iter()
+        .filter(|ev| matches!(ev, ScenarioEvent::Flush(_)))
+        .count();
+    assert!(flushes > 0, "scenario must cross flush boundaries");
+
+    for name in PIPELINED_HOSTS {
+        let mut results = Vec::new();
+        for mode in [DriveMode::Pipelined, DriveMode::Scalar] {
+            let mut predictor = make_predictor(name).expect("registered");
+            let mut stats = PredictorStats::default();
+            let mut block: Vec<BranchRecord> = Vec::new();
+            for ev in &all {
+                match ev {
+                    ScenarioEvent::Record { record, .. } => {
+                        block.push(*record);
+                        if block.len() == 4096 {
+                            drive_block_mode(predictor.as_mut(), &block, &mut stats, mode);
+                            block.clear();
+                        }
+                    }
+                    ScenarioEvent::Flush(_) => {
+                        drive_block_mode(predictor.as_mut(), &block, &mut stats, mode);
+                        block.clear();
+                        predictor.flush_history();
+                    }
+                }
+            }
+            drive_block_mode(predictor.as_mut(), &block, &mut stats, mode);
+            results.push(stats);
+        }
+        assert_eq!(
+            results[0], results[1],
+            "{name}: flush interplay diverged between drive modes"
+        );
+    }
+}
+
+#[test]
+fn attributed_predictions_agree_after_pipelined_warmup() {
+    // The attributed (reporting) path stays scalar, but it runs over
+    // predictor state that the pipelined drive produced. Warm one
+    // predictor per mode, then compare the full attributed prediction
+    // stream branch by branch.
+    let warm = generate(&cbp4_suite()[0], INSTRUCTIONS);
+    let probe = generate(&cbp4_suite()[1], 10_000);
+    for name in PIPELINED_HOSTS {
+        let mut pipelined = make_predictor(name).expect("registered");
+        let mut scalar = make_predictor(name).expect("registered");
+        let mut sink = PredictorStats::default();
+        drive_block_mode(
+            pipelined.as_mut(),
+            warm.records(),
+            &mut sink,
+            DriveMode::Pipelined,
+        );
+        drive_block_mode(
+            scalar.as_mut(),
+            warm.records(),
+            &mut sink,
+            DriveMode::Scalar,
+        );
+        for record in probe.iter() {
+            if record.is_conditional() {
+                let p = pipelined.predict_attributed(record.pc);
+                let s = scalar.predict_attributed(record.pc);
+                assert_eq!(
+                    p, s,
+                    "{name}: attribution diverged after pipelined warmup at pc {:#x}",
+                    record.pc
+                );
+                pipelined.update(record);
+                scalar.update(record);
+            } else {
+                pipelined.notify_nonconditional(record);
+                scalar.notify_nonconditional(record);
+            }
+        }
+    }
+}
